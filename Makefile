@@ -1,0 +1,29 @@
+# Developer entry points for the TDB reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench report examples lint all
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) -m repro.bench.report
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/digital_goods.py
+	$(PYTHON) examples/backup_restore.py
+	$(PYTHON) examples/tamper_demo.py
+	$(PYTHON) examples/trusted_paging.py
+
+all: test bench

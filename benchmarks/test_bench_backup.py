@@ -1,0 +1,108 @@
+"""§9.2.3 — backup store operations.
+
+Paper (512-byte chunks): incremental backup latency =
+675 µs + 9 µs per chunk in the partition + 278 µs per updated chunk;
+incremental backup *size* = 456 B + 528 B per updated chunk.
+
+Shape checks: latency affine in (partition chunks, updated chunks) — the
+per-partition-chunk term is the snapshot diff, the per-updated term the
+chunk copy; size affine in updated chunks and far below a full backup.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import PAPER, bench_store, data_partition, report
+from repro.backup import BackupStore
+from repro.chunkstore import ops
+
+_CHUNK = 512  # the paper's chunk size for this experiment
+
+
+def _populate(store, pid, count):
+    ranks = [store.allocate_chunk(pid) for _ in range(count)]
+    for start in range(0, count, 64):
+        store.commit(
+            [ops.WriteChunk(pid, r, b"\x33" * _CHUNK) for r in ranks[start : start + 64]]
+        )
+    return ranks
+
+
+def test_incremental_backup_regression(benchmark):
+    platform, store = bench_store(size=256 * 1024 * 1024, segment_size=256 * 1024)
+    backup = BackupStore(store)
+    rows, times, sizes = [], [], []
+    stream = 0
+    for n_chunks in (64, 256):
+        pid = data_partition(store)
+        ranks = _populate(store, pid, n_chunks)
+        backup.create_backup([pid], f"base-{pid}")  # establish the base
+        for n_updates in (1, 8, 32):
+            stream_content = bytes([(stream + 7) % 251]) * _CHUNK
+            for rank in ranks[:n_updates]:
+                # content must differ from the base, or the hash-based
+                # diff (correctly) excludes the rewrite from the backup
+                store.commit([ops.WriteChunk(pid, rank, stream_content)])
+            stream += 1
+            start = time.perf_counter()
+            info = backup.create_backup([pid], f"incr-{stream}")
+            elapsed = time.perf_counter() - start
+            assert info.incremental[pid]
+            rows.append((1.0, n_chunks, n_updates))
+            times.append(elapsed)
+            sizes.append((n_updates, info.bytes_written))
+    benchmark(lambda: None)  # the sweep above is the measurement
+    coef, *_ = np.linalg.lstsq(np.array(rows), np.array(times), rcond=None)
+    fixed_us = coef[0] * 1e6
+    per_chunk_us = coef[1] * 1e6
+    per_updated_us = coef[2] * 1e6
+    size_design = np.array([(1.0, n) for n, _ in sizes])
+    size_coef, *_ = np.linalg.lstsq(
+        size_design, np.array([s for _, s in sizes]), rcond=None
+    )
+    report(
+        "§9.2.3 incremental backup",
+        [
+            ("fixed", f"{fixed_us:.0f} µs", f"{PAPER['backup_fixed_us']} µs"),
+            ("per chunk in partition", f"{per_chunk_us:.1f} µs", f"{PAPER['backup_per_chunk_us']} µs"),
+            ("per updated chunk", f"{per_updated_us:.0f} µs", f"{PAPER['backup_per_updated_us']} µs"),
+            ("size fixed", f"{size_coef[0]:.0f} B", f"{PAPER['backup_size_fixed']} B"),
+            ("size per updated chunk", f"{size_coef[1]:.0f} B", f"{PAPER['backup_size_per_chunk']} B"),
+        ],
+    )
+    assert per_updated_us > 0
+    assert size_coef[1] > _CHUNK  # each updated chunk plus framing overhead
+
+
+def test_incremental_much_smaller_than_full(benchmark):
+    platform, store = bench_store(size=128 * 1024 * 1024, segment_size=256 * 1024)
+    backup = BackupStore(store)
+    pid = data_partition(store)
+    ranks = _populate(store, pid, 400)
+    full = backup.create_backup([pid], "full")
+    store.commit([ops.WriteChunk(pid, ranks[0], b"\x55" * _CHUNK)])
+    incr = backup.create_backup([pid], "incr")
+    benchmark(lambda: None)
+    report(
+        "§9.2.3 full vs incremental size",
+        [
+            ("full (400 chunks)", f"{full.bytes_written} B", "n/a"),
+            ("incremental (1 update)", f"{incr.bytes_written} B", "significantly less"),
+        ],
+    )
+    assert incr.bytes_written < full.bytes_written / 50
+
+
+def test_snapshot_commit_is_cheap(benchmark):
+    """Backup consistency costs one commit, not a partition lock (§6.1)."""
+    platform, store = bench_store(size=128 * 1024 * 1024, segment_size=256 * 1024)
+    pid = data_partition(store)
+    _populate(store, pid, 500)
+    store.checkpoint()
+
+    def snapshot():
+        snap = store.allocate_partition()
+        store.commit([ops.CopyPartition(snap, pid)])
+
+    benchmark(snapshot)

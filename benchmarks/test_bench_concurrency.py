@@ -1,0 +1,75 @@
+"""§2.2 "Concurrent transactions" — characterize, honestly, the
+low-concurrency design.
+
+"TDB is not designed for simultaneous access by many users.  Therefore,
+its concurrency control is geared to low concurrency.  It employs
+techniques for reducing latency, but lacks sophisticated techniques for
+sustaining throughput."  And §4.2: "serializability of operations is
+provided through mutual exclusion, which does not overlap I/O and
+computation."
+
+Expected shape: correctness under concurrent transactions (verified),
+with throughput that does *not* scale with thread count — the global
+mutual exclusion is the design, not a bug.
+"""
+
+import threading
+import time
+
+from benchmarks.conftest import bench_store, data_partition, report
+from repro.errors import DeadlockError
+from repro.objectstore import ObjectStore
+
+
+def _run_threads(objects, refs, threads, ops_per_thread=40):
+    def worker(offset):
+        for i in range(ops_per_thread):
+            ref = refs[(offset + i) % len(refs)]
+            while True:
+                try:
+                    with objects.transaction() as tx:
+                        value = tx.get_for_update(ref)
+                        tx.update(ref, value + 1)
+                    break
+                except DeadlockError:
+                    continue
+
+    workers = [threading.Thread(target=worker, args=(t * 7,)) for t in range(threads)]
+    start = time.perf_counter()
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return threads * ops_per_thread / elapsed
+
+
+def test_throughput_vs_thread_count(benchmark):
+    platform, store = bench_store()
+    objects = ObjectStore(store, lock_timeout=1.0)
+    pid = objects.create_partition(cipher_name="ctr-sha256", hash_name="sha1")
+    with objects.transaction() as tx:
+        refs = [tx.create(pid, 0) for _ in range(16)]
+
+    results = {}
+    for threads in (1, 2, 4):
+        results[threads] = _run_threads(objects, refs, threads)
+
+    # correctness: every increment landed exactly once
+    total = sum(objects.read_committed(ref) for ref in refs)
+    assert total == sum(t * 40 for t in (1, 2, 4))
+
+    benchmark(lambda: _run_threads(objects, refs, 1, ops_per_thread=5))
+    report(
+        "§2.2 concurrency characterization",
+        [
+            (
+                f"{threads} thread(s)",
+                f"{results[threads]:.0f} tx/s",
+                "throughput does not scale (mutual exclusion, §4.2)",
+            )
+            for threads in (1, 2, 4)
+        ],
+    )
+    # the design claim: no meaningful scaling with threads
+    assert results[4] < results[1] * 2

@@ -1,0 +1,38 @@
+"""Figure 10 — the bind/release operation mix.
+
+The workload must execute exactly the paper's operation counts (they are
+its specification — see repro.bench.workload); this bench verifies both
+experiments on TDB and prints the table."""
+
+from benchmarks.conftest import report
+from repro.bench.adapters import TdbAdapter
+from repro.bench.workload import FIGURE_10, Workload
+
+
+def _run(kind):
+    adapter = TdbAdapter()
+    workload = Workload(adapter)
+    workload.setup()
+    counts = workload.run_experiment(kind)
+    adapter.close()
+    return counts
+
+
+def test_figure10_operation_counts(benchmark):
+    release = _run("release")
+    bind = _run("bind")
+    benchmark(lambda: None)  # the experiments above are the measurement
+    rows = []
+    for op in ("read", "update", "delete", "add", "commit"):
+        rows.append(
+            (
+                f"release {op}",
+                str(release[op]),
+                str(FIGURE_10["release"][op]),
+            )
+        )
+    for op in ("read", "update", "delete", "add", "commit"):
+        rows.append((f"bind {op}", str(bind[op]), str(FIGURE_10["bind"][op])))
+    report("Figure 10 operation counts", rows)
+    assert release == FIGURE_10["release"]
+    assert bind == FIGURE_10["bind"]

@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Digital-goods vending — the paper's motivating application (§1, §9.5).
+
+A vendor *binds* contracts (pay-per-use, limited-trial, site-license) to
+digital goods; a consumer *releases* (exercises) a good under one of its
+contracts.  The sensitive state — account balances, remaining trial uses —
+lives in a TDB database on the consumer's own machine, where the consumer
+is precisely the attacker the system must resist.
+
+The demo shows:
+  * the collection store's functional indexes, including a *range query*
+    over prices — possible because indexes sit below the crypto (§1.2);
+  * pay-per-use debits and trial-count decrements as transactions;
+  * the replay attack (§1): save the database, burn through the trial,
+    restore the saved copy — and watch TDB refuse it.
+
+Run:  python examples/digital_goods.py
+"""
+
+import random
+
+from repro import (
+    ChunkStore,
+    CollectionStore,
+    ObjectStore,
+    StoreConfig,
+    TamperDetectedError,
+    TrustedPlatform,
+)
+from repro.collection import KeyFunctionRegistry, field_key
+
+
+def build_store(platform):
+    chunks = ChunkStore.format(
+        platform, StoreConfig(system_cipher="ctr-sha256", delta_ut=1)
+    )
+    objects = ObjectStore(chunks)
+    pid = objects.create_partition(cipher_name="ctr-sha256", hash_name="sha1")
+    registry = KeyFunctionRegistry()
+    for key in ("title", "price", "good", "owner"):
+        registry.register(key, field_key(key))
+    collections = CollectionStore(objects, pid, registry)
+    return chunks, objects, collections
+
+
+def vendor_bind(objects, collections, title, price):
+    """Bind three alternative contracts to a good (§9.5.1)."""
+    with objects.transaction() as tx:
+        goods = collections.open_collection(tx, "goods")
+        contracts = collections.open_collection(tx, "contracts")
+        good = collections.insert(tx, goods, {"title": title, "price": price})
+        for kind, terms in (
+            ("pay-per-use", {"fee": price // 10}),
+            ("trial", {"uses_left": 3}),
+            ("site-license", {"fee": price * 4}),
+        ):
+            collections.insert(
+                tx,
+                contracts,
+                {"good": title, "kind": kind, "terms": terms, "price": price},
+            )
+        return good
+
+
+def consumer_release(objects, collections, title, account_ref):
+    """Exercise a good under a randomly selected contract (§9.5.1)."""
+    rng = random.Random(str(title))
+    with objects.transaction() as tx:
+        contracts = collections.open_collection(tx, "contracts")
+        offers = [
+            tx.get(ref)
+            for ref in collections.exact(tx, contracts, "contracts_by_good", title)
+        ]
+        chosen_value = rng.choice(offers)
+        (chosen_ref,) = [
+            ref
+            for ref in collections.exact(tx, contracts, "contracts_by_good", title)
+            if tx.get(ref)["kind"] == chosen_value["kind"]
+        ]
+        contract = tx.get_for_update(chosen_ref)
+        account = tx.get_for_update(account_ref)
+        if contract["kind"] == "trial":
+            if contract["terms"]["uses_left"] <= 0:
+                raise RuntimeError("trial exhausted")
+            new_terms = dict(contract["terms"])
+            new_terms["uses_left"] -= 1
+            collections.update(
+                tx, contracts, chosen_ref, dict(contract, terms=new_terms)
+            )
+        else:
+            fee = contract["terms"]["fee"]
+            if account["balance"] < fee:
+                raise RuntimeError("insufficient funds")
+            tx.update(account_ref, dict(account, balance=account["balance"] - fee))
+        return contract["kind"]
+
+
+def main() -> None:
+    platform = TrustedPlatform.create_in_memory(untrusted_size=16 * 1024 * 1024)
+    chunks, objects, collections = build_store(platform)
+
+    with objects.transaction() as tx:
+        goods = collections.create_collection(tx, "goods")
+        collections.add_index(tx, goods, "goods_by_title", "title")
+        collections.add_index(tx, goods, "goods_by_price", "price", sorted_index=True)
+        contracts = collections.create_collection(tx, "contracts")
+        collections.add_index(tx, contracts, "contracts_by_good", "good")
+        accounts = collections.create_collection(tx, "accounts")
+        collections.add_index(tx, accounts, "accounts_by_owner", "owner")
+        account = collections.insert(
+            tx, accounts, {"owner": "consumer", "balance": 10_000}
+        )
+
+    # the vendor publishes a small catalog
+    catalog = [("sonata.mp3", 120), ("novel.epub", 80), ("game.bin", 600),
+               ("film.mkv", 300), ("atlas.pdf", 40)]
+    for title, price in catalog:
+        vendor_bind(objects, collections, title, price)
+    print(f"catalog: {len(catalog)} goods × 3 contracts bound")
+
+    # range query: everything under 150 cents (needs the sorted index —
+    # a layered-crypto design cannot do this, §1.2)
+    with objects.transaction() as tx:
+        goods = collections.open_collection(tx, "goods")
+        cheap = [
+            (key, tx.get(ref)["title"])
+            for key, ref in collections.range(tx, goods, "goods_by_price", None, 150)
+        ]
+    print("goods under 150:", cheap)
+
+    # consume
+    for title, _price in catalog[:3]:
+        kind = consumer_release(objects, collections, title, account)
+        print(f"released {title!r} under {kind!r}")
+    balance = objects.read_committed(account)["balance"]
+    print("balance after purchases:", balance)
+
+    # --- the replay attack -------------------------------------------------
+    print("\nattacker saves the database image, keeps spending, replays...")
+    saved_image = platform.untrusted.tamper_image()
+    for title, _price in catalog[3:]:
+        consumer_release(objects, collections, title, account)
+    print("balance now:", objects.read_committed(account)["balance"])
+    chunks.close(checkpoint=False)
+    platform.untrusted.tamper_replay(saved_image)
+    try:
+        ChunkStore.open(platform)
+        raise SystemExit("BUG: replay went undetected!")
+    except TamperDetectedError as exc:
+        print(f"replay detected and refused: {exc}")
+
+
+if __name__ == "__main__":
+    main()

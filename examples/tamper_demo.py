@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""The architecture argument, live (§1.2): uniform metadata protection.
+
+Build the *same* logical database twice:
+
+  1. TDB — trust integrated in the low-level data model: index nodes,
+     allocation maps, and catalogs are chunks like everything else;
+  2. SecureXDB — crypto layered on top of a conventional embedded
+     database: records are encrypted and Merkle-hashed, but the
+     database's own B-tree pages and catalog are naked.
+
+Then run the paper's attack: "An attack could effectively delete an
+object by modifying the indexes."  TDB detects it; the layered design
+silently returns the wrong answer.
+
+Run:  python examples/tamper_demo.py
+"""
+
+import struct
+
+from repro import (
+    ChunkStore,
+    CollectionStore,
+    ObjectStore,
+    StoreConfig,
+    TamperDetectedError,
+    TrustedPlatform,
+)
+from repro.collection import KeyFunctionRegistry, field_key
+from repro.platform import MemoryUntrustedStore, SecretStore, TamperResistantStore
+from repro.xdb import SecureXDB
+from repro.xdb.pager import PAGE_SIZE
+
+TITLES = [f"song-{i:02d}" for i in range(40)]
+
+
+def build_tdb():
+    platform = TrustedPlatform.create_in_memory(untrusted_size=16 * 1024 * 1024)
+    chunks = ChunkStore.format(platform, StoreConfig(system_cipher="ctr-sha256"))
+    objects = ObjectStore(chunks)
+    pid = objects.create_partition(cipher_name="ctr-sha256", hash_name="sha1")
+    registry = KeyFunctionRegistry()
+    registry.register("title", field_key("title"))
+    collections = CollectionStore(objects, pid, registry)
+    with objects.transaction() as tx:
+        goods = collections.create_collection(tx, "goods")
+        collections.add_index(tx, goods, "by_title", "title")
+        for title in TITLES:
+            collections.insert(tx, goods, {"title": title, "owned": True})
+    chunks.checkpoint()
+    return platform, chunks, objects, collections, pid
+
+
+def build_xdb():
+    store = MemoryUntrustedStore(16 * 1024 * 1024)
+    secure = SecureXDB.format(
+        store, SecretStore.generate(), TamperResistantStore(),
+        cipher_name="ctr-sha256",
+    )
+    goods = secure.create_collection("goods", {"by_title": lambda o: o["title"]})
+    for title in TITLES:
+        secure.insert(goods, {"title": title, "owned": True})
+    secure.commit()
+    return store, secure, goods
+
+
+def main() -> None:
+    target = "song-17"
+
+    # --- the layered design: silent effective deletion ----------------------
+    store, secure, goods = build_xdb()
+    print("SecureXDB before attack:", len(secure.exact(goods, "by_title", target)),
+          "hit(s) for", target)
+    # the attacker wipes the index B-tree's root page — pure metadata
+    index_root = goods.indexes["by_title"].root
+    empty_leaf = struct.pack(">BH", 1, 0).ljust(PAGE_SIZE, b"\x00")
+    store.tamper_write(index_root * PAGE_SIZE, empty_leaf)
+    secure.db.pager._cache.clear()
+    hits = secure.exact(goods, "by_title", target)
+    print(f"SecureXDB after attack:  {len(hits)} hit(s) — the object has been "
+          f"'deleted' WITHOUT DETECTION (its record still validates!)")
+    assert hits == []
+
+    # --- TDB: the same attack is detected ------------------------------------
+    platform, chunks, objects, collections, pid = build_tdb()
+    with objects.transaction() as tx:
+        goods_coll = collections.open_collection(tx, "goods")
+        print("\nTDB before attack:", len(
+            collections.exact(tx, goods_coll, "by_title", target)), "hit(s)")
+
+    # In TDB index nodes are encrypted chunks, indistinguishable from data
+    # on the device.  Model the strongest realistic attacker: corrupt every
+    # current chunk version of the partition (which necessarily includes
+    # every index node).  Any lookup that touches corrupted state must now
+    # raise — "effective deletion" is impossible without detection.
+    from repro.chunkstore.ids import data_id
+
+    for rank in chunks.data_ranks(pid):
+        descriptor = chunks._get_descriptor(data_id(pid, rank))
+        middle = descriptor.location + descriptor.length // 2
+        byte = platform.untrusted.tamper_read(middle, 1)
+        platform.untrusted.tamper_write(middle, bytes([byte[0] ^ 0xFF]))
+    chunks.cache.clear()
+    objects.cache.clear()
+    try:
+        with objects.transaction() as tx:
+            goods_coll = collections.open_collection(tx, "goods")
+            hits = collections.exact(tx, goods_coll, "by_title", target)
+            for ref in hits:
+                tx.get(ref)
+        raise SystemExit("BUG: TDB failed to detect the index attack!")
+    except TamperDetectedError as exc:
+        print(f"TDB after attack: TAMPER DETECTED — {exc}")
+
+    print("\nconclusion: integrating trust below the data model protects "
+          "data and metadata uniformly (§1.2)")
+
+
+if __name__ == "__main__":
+    main()

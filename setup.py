@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs (``pip install -e .``) fail with ``invalid command 'bdist_wheel'``.
+This shim lets ``python setup.py develop`` (or ``pip install -e . --no-use-pep517``
+where supported) install the package with plain setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Backup store (§6): full and incremental partition backups."""
+
+from repro.backup.format import (
+    BackupDescriptor,
+    BackupEntry,
+    PartitionBackup,
+)
+from repro.backup.store import BackupInfo, BackupStore
+
+__all__ = [
+    "BackupStore",
+    "BackupInfo",
+    "BackupDescriptor",
+    "BackupEntry",
+    "PartitionBackup",
+]

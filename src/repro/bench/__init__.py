@@ -1,0 +1,5 @@
+"""Benchmark support: module profiler, workload generator, regression fit."""
+
+from repro.bench.profiler import Profiler, profiled
+
+__all__ = ["Profiler", "profiled"]

@@ -1,0 +1,166 @@
+"""Workload adapters: the same bind/release mix driven through TDB and
+through the crypto-layered XDB baseline (§9.5.2, Figure 11).
+
+Both systems are configured identically per the paper: the same
+cryptographic parameters, comparable cache sizes, and the same frequency
+of flushing the tamper-resistant store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.bench.workload import CollectionSpec, DBAdapter
+from repro.chunkstore.config import StoreConfig
+from repro.chunkstore.store import ChunkStore
+from repro.collection.index import KeyFunctionRegistry, field_key
+from repro.collection.store import CollectionStore
+from repro.objectstore.store import ObjectStore
+from repro.platform.trusted_platform import TrustedPlatform
+from repro.platform.untrusted import MemoryUntrustedStore
+from repro.xdb.cryptolayer import SecureXDB
+
+
+class TdbAdapter(DBAdapter):
+    """The workload on TDB: collection store → object store → chunk store."""
+
+    def __init__(
+        self,
+        platform: Optional[TrustedPlatform] = None,
+        cipher_name: str = "ctr-sha256",
+        hash_name: str = "sha1",
+        config: Optional[StoreConfig] = None,
+        cache_size: int = 4096,
+    ) -> None:
+        super().__init__()
+        self.platform = platform or TrustedPlatform.create_in_memory(
+            untrusted_size=64 * 1024 * 1024
+        )
+        self.config = config or StoreConfig(
+            system_cipher=cipher_name if cipher_name != "null" else "ctr-sha256",
+            system_hash=hash_name,
+            delta_ut=5,
+        )
+        self.chunks = ChunkStore.format(self.platform, self.config)
+        self.key_functions = KeyFunctionRegistry()
+        self.objects = ObjectStore(self.chunks, cache_size=cache_size)
+        self.partition = self.objects.create_partition(
+            cipher_name=cipher_name, hash_name=hash_name
+        )
+        self.collections = CollectionStore(
+            self.objects, self.partition, self.key_functions
+        )
+        self._tx = None
+
+    # -- adapter interface -----------------------------------------------------
+
+    def create_collection(self, spec: CollectionSpec) -> Any:
+        for index in spec.indexes:
+            self.key_functions.register(index.field, field_key(index.field), replace=True)
+        coll = self.collections.create_collection(self._tx, spec.name)
+        for index in spec.indexes:
+            self.collections.add_index(
+                self._tx, coll, index.name, index.field, sorted_index=index.sorted_index
+            )
+        return coll
+
+    def begin(self) -> None:
+        self._tx = self.objects.transaction()
+
+    def commit(self) -> None:
+        self._tx.commit()
+        self._tx = None
+        self.op_counts["commit"] += 1
+
+    def insert(self, coll: Any, obj: Dict[str, Any]) -> Any:
+        self.op_counts["add"] += 1
+        return self.collections.insert(self._tx, coll, obj)
+
+    def read(self, coll: Any, handle: Any) -> Dict[str, Any]:
+        self.op_counts["read"] += 1
+        return self._tx.get(handle)
+
+    def update(self, coll: Any, handle: Any, obj: Dict[str, Any]) -> None:
+        self.op_counts["update"] += 1
+        self.collections.update(self._tx, coll, handle, obj)
+
+    def delete(self, coll: Any, handle: Any) -> None:
+        self.op_counts["delete"] += 1
+        self.collections.remove(self._tx, coll, handle)
+
+    def exact(self, coll: Any, index_name: str, key: Any) -> List[Any]:
+        return self.collections.exact(self._tx, coll, index_name, key)
+
+    def stored_bytes(self) -> int:
+        return self.chunks.stored_bytes()
+
+    def close(self) -> None:
+        self.chunks.close()
+
+
+class XdbAdapter(DBAdapter):
+    """The workload on the layered-crypto XDB baseline."""
+
+    def __init__(
+        self,
+        store: Optional[MemoryUntrustedStore] = None,
+        cipher_name: str = "ctr-sha256",
+        hash_name: str = "sha1",
+        cache_pages: int = 2048,
+    ) -> None:
+        super().__init__()
+        from repro.platform.secret_store import SecretStore
+        from repro.platform.tamper_resistant import TamperResistantStore
+
+        self.store = store or MemoryUntrustedStore(64 * 1024 * 1024)
+        self.secret = SecretStore.generate()
+        self.tr = TamperResistantStore()
+        self.db = SecureXDB.format(
+            self.store,
+            self.secret,
+            self.tr,
+            cipher_name=cipher_name,
+            hash_name=hash_name,
+            cache_pages=cache_pages,
+            tr_period=5,  # match TDB's Δut = 5 (§9.1)
+        )
+        self._specs: Dict[str, CollectionSpec] = {}
+
+    def create_collection(self, spec: CollectionSpec) -> Any:
+        self._specs[spec.name] = spec
+        return self.db.create_collection(
+            spec.name,
+            {index.name: field_key(index.field) for index in spec.indexes},
+        )
+
+    def begin(self) -> None:
+        pass  # XDB batches until commit
+
+    def commit(self) -> None:
+        self.db.commit()
+        self.op_counts["commit"] += 1
+
+    def insert(self, coll: Any, obj: Dict[str, Any]) -> Any:
+        self.op_counts["add"] += 1
+        return self.db.insert(coll, obj)
+
+    def read(self, coll: Any, handle: Any) -> Dict[str, Any]:
+        self.op_counts["read"] += 1
+        return self.db.read(coll, handle)
+
+    def update(self, coll: Any, handle: Any, obj: Dict[str, Any]) -> None:
+        self.op_counts["update"] += 1
+        self.db.update(coll, handle, obj)
+
+    def delete(self, coll: Any, handle: Any) -> None:
+        self.op_counts["delete"] += 1
+        self.db.delete(coll, handle)
+
+    def exact(self, coll: Any, index_name: str, key: Any) -> List[Any]:
+        return self.db.exact(coll, index_name, key)
+
+    def stored_bytes(self) -> int:
+        return self.db.stored_bytes()
+
+    def close(self) -> None:
+        self.db.close()

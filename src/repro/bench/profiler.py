@@ -1,0 +1,81 @@
+"""Nested-exclusive module profiler (for the Figure 12 breakdown).
+
+The paper's Figure 12 reports per-module time where "the time reported for
+each module excludes nested calls to other reported modules" (§9.5.3).
+This profiler reproduces that accounting: modules wrap their entry points
+in ``with profiled("chunk store"):``; when module A calls into module B,
+A's clock pauses while B runs.
+
+When no profiler is active (the normal case) the context manager is a
+near-no-op, so production paths stay cheap.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+_active: Optional["Profiler"] = None
+
+
+class Profiler:
+    """Collects exclusive wall-clock time per module label."""
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self._stack: List[List] = []  # [label, started_at]
+
+    # -- activation ----------------------------------------------------------
+
+    def __enter__(self) -> "Profiler":
+        global _active
+        self._previous = _active
+        _active = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _active
+        _active = self._previous
+
+    # -- measurement ---------------------------------------------------------
+
+    def push(self, label: str) -> None:
+        """Enter ``label``: pauses the enclosing label's clock."""
+        now = time.perf_counter()
+        if self._stack:
+            top = self._stack[-1]
+            self.totals[top[0]] = self.totals.get(top[0], 0.0) + (now - top[1])
+            top[1] = now  # will be overwritten on resume
+        self._stack.append([label, now])
+        self.calls[label] = self.calls.get(label, 0) + 1
+
+    def pop(self) -> None:
+        """Leave the current label and resume its parent's clock."""
+        now = time.perf_counter()
+        label, started = self._stack.pop()
+        self.totals[label] = self.totals.get(label, 0.0) + (now - started)
+        if self._stack:
+            self._stack[-1][1] = now  # resume the parent's clock
+
+    def report(self) -> Dict[str, float]:
+        return dict(self.totals)
+
+
+@contextmanager
+def profiled(label: str):
+    """Attribute the enclosed time to ``label`` (exclusive of nested labels)."""
+    profiler = _active
+    if profiler is None:
+        yield
+        return
+    profiler.push(label)
+    try:
+        yield
+    finally:
+        profiler.pop()
+
+
+def active_profiler() -> Optional[Profiler]:
+    return _active

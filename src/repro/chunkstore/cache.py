@@ -1,0 +1,89 @@
+"""Descriptor cache (§4.5, §4.6).
+
+The chunk map keeps a cache of descriptors indexed by chunk id.  The cache
+serves two distinct roles:
+
+* *performance* — the bottom-up read path stops at the first cached
+  descriptor, so a warm cache avoids re-validating the whole path from the
+  leader (the data a cached descriptor came from was already decrypted and
+  validated);
+* *correctness* — commits update descriptors **only** in the cache, marking
+  them dirty and pinned (§4.6).  The persistent map chunks become stale
+  until the next checkpoint; the bottom-up search order guarantees the
+  stale persistent descriptor is never consulted while a dirty one shadows
+  it.  Dirty descriptors are therefore never evicted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.chunkstore.descriptor import ChunkDescriptor
+from repro.chunkstore.ids import ChunkId
+
+
+class DescriptorCache:
+    """LRU cache of chunk descriptors with dirty pinning."""
+
+    def __init__(self, max_clean: int = 4096) -> None:
+        self._max_clean = max_clean
+        self._clean: "OrderedDict[ChunkId, ChunkDescriptor]" = OrderedDict()
+        self._dirty: Dict[ChunkId, ChunkDescriptor] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, chunk_id: ChunkId) -> Optional[ChunkDescriptor]:
+        if chunk_id in self._dirty:
+            self.hits += 1
+            return self._dirty[chunk_id]
+        descriptor = self._clean.get(chunk_id)
+        if descriptor is not None:
+            self._clean.move_to_end(chunk_id)
+            self.hits += 1
+            return descriptor
+        self.misses += 1
+        return None
+
+    def put_clean(self, chunk_id: ChunkId, descriptor: ChunkDescriptor) -> None:
+        """Insert a descriptor read (and validated) from a map chunk."""
+        if chunk_id in self._dirty:
+            return  # a dirty descriptor shadows any persistent state
+        self._clean[chunk_id] = descriptor
+        self._clean.move_to_end(chunk_id)
+        while len(self._clean) > self._max_clean:
+            self._clean.popitem(last=False)
+
+    def put_dirty(self, chunk_id: ChunkId, descriptor: ChunkDescriptor) -> None:
+        """Record a committed update; pinned until the next checkpoint."""
+        self._clean.pop(chunk_id, None)
+        self._dirty[chunk_id] = descriptor
+
+    def drop(self, chunk_id: ChunkId) -> None:
+        self._clean.pop(chunk_id, None)
+        self._dirty.pop(chunk_id, None)
+
+    def drop_partition(self, partition: int) -> None:
+        """Forget everything about a deallocated partition."""
+        for cid in [c for c in self._clean if c.partition == partition]:
+            del self._clean[cid]
+        for cid in [c for c in self._dirty if c.partition == partition]:
+            del self._dirty[cid]
+
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def dirty_items(self) -> Iterator[Tuple[ChunkId, ChunkDescriptor]]:
+        return iter(list(self._dirty.items()))
+
+    def clean_all_dirty(self) -> None:
+        """After a checkpoint persists the map, dirty entries become clean."""
+        for chunk_id, descriptor in self._dirty.items():
+            self._clean[chunk_id] = descriptor
+        self._dirty.clear()
+        while len(self._clean) > self._max_clean:
+            self._clean.popitem(last=False)
+
+    def clear(self) -> None:
+        self._clean.clear()
+        self._dirty.clear()

@@ -1,0 +1,163 @@
+"""Log cleaning (§4.9.5, §5.5).
+
+The cleaner reclaims the storage of obsolete chunk versions by selecting a
+low-utilization segment of the *checkpointed* log (never the residual
+log), determining which versions in it are still current anywhere, and
+re-committing those to the log tail.  The freed segment returns to the
+free pool.
+
+Currency is complicated by partition copies: a version written as ``P:x``
+may be obsolete in ``P`` yet current in copies of ``P`` (or copies of
+copies).  The cleaner checks the whole copy subtree rooted at the header
+partition — which is sound because a chunk written under ``P`` can only
+be referenced by ``P`` and partitions copied (transitively) from it, and
+``P`` outlives its copies (deallocating ``P`` deallocates them all,
+§5.1/§5.5).
+
+Two safety properties from the paper:
+
+* Because our re-commit *recomputes* hash values (the paper's simpler
+  implemented variant), the cleaner **must validate** each current version
+  before rewriting it — otherwise it would launder chunks an attacker
+  modified into freshly-hashed, descriptor-valid versions.
+* Rewritten versions keep their original header identity; a CLEANER
+  record, written *before* them in the same commit set, tells recovery
+  exactly which partitions each rewritten version is current in.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import List, Optional, Tuple
+
+from repro.chunkstore.descriptor import ChunkDescriptor, ChunkStatus
+from repro.chunkstore.ids import SYSTEM_PARTITION, ChunkId, leader_id
+from repro.chunkstore.log import CleanerRecord, VersionKind
+from repro.errors import TamperDetectedError
+
+
+logger = logging.getLogger("repro.chunkstore.cleaner")
+
+
+class Cleaner:
+    """Reclaims obsolete storage for a :class:`ChunkStore`."""
+
+    def __init__(self, store) -> None:
+        self.store = store
+        #: segments cleaned over this cleaner's lifetime (stats)
+        self.cleaned_segments = 0
+        self.rewritten_versions = 0
+
+    def clean_one(self) -> Optional[int]:
+        """Clean the emptiest cleanable segment; returns its index, or
+        ``None`` if no segment is worth cleaning."""
+        store = self.store
+        with store._lock:
+            candidates = store.segman.cleanable_segments()
+            target = None
+            for segment in candidates:
+                if store.segman.live_bytes[segment] < store.segman.used_bytes[segment]:
+                    target = segment
+                    break
+            if target is None:
+                return None
+            previous = store._in_maintenance
+            store._in_maintenance = True
+            try:
+                self._clean_segment(target)
+            finally:
+                store._in_maintenance = previous
+            self.cleaned_segments += 1
+            return target
+
+    # ------------------------------------------------------------------
+
+    def _current_partitions(self, cid: ChunkId, location: int) -> List[int]:
+        """Partitions in which the version at ``location`` is current."""
+        store = self.store
+        if cid.partition != SYSTEM_PARTITION and not store.partition_exists(
+            cid.partition
+        ):
+            return []  # dead partition ⇒ dead copies ⇒ obsolete version
+        result = []
+        for pid in store._collect_copy_family(cid.partition):
+            if pid != SYSTEM_PARTITION and not store.partition_exists(pid):
+                continue
+            probe = ChunkId(pid, cid.height, cid.rank)
+            descriptor = store._get_descriptor(probe)
+            if descriptor.is_written() and descriptor.location == location:
+                result.append(pid)
+        return result
+
+    def _clean_segment(self, segment: int) -> None:
+        store = self.store
+        codec = store.codec
+        segman = store.segman
+        start = segman.segment_start(segment)
+        end = start + segman.used_bytes[segment]
+        cursor = start
+
+        #: (chunk id, plaintext body, partitions where current)
+        survivors: List[Tuple[ChunkId, bytes, List[int]]] = []
+        while cursor < end:
+            header_ct = store.platform.untrusted.read(
+                cursor, codec.header_cipher_size
+            )
+            header = codec.parse_header(header_ct)  # raises TamperDetected
+            body_ct = store.platform.untrusted.read(
+                cursor + codec.header_cipher_size, header.body_cipher_size
+            )
+            version_len = codec.header_cipher_size + header.body_cipher_size
+            if header.kind == VersionKind.NAMED:
+                cid = header.chunk_id
+                if cid != leader_id(SYSTEM_PARTITION):
+                    pids = self._current_partitions(cid, cursor)
+                    if pids:
+                        # validate before rewriting (no laundering)
+                        state = store._state(pids[0])
+                        body = codec.decrypt_body(header, body_ct, state.cipher)
+                        digest = codec.descriptor_hash(header, body, state.hash)
+                        expected = store._get_descriptor(
+                            ChunkId(pids[0], cid.height, cid.rank)
+                        )
+                        if digest != expected.body_hash:
+                            raise TamperDetectedError(
+                                f"cleaner: chunk {cid} at {cursor} fails validation"
+                            )
+                        survivors.append((cid, body, pids))
+            # unnamed chunks are always obsolete in the checkpointed log
+            cursor += version_len
+
+        if survivors:
+            self._rewrite(survivors)
+        segman.release_segment(segment)
+        logger.debug(
+            "cleaned segment %d: %d current version(s) rewritten",
+            segment,
+            len(survivors),
+        )
+
+    def _rewrite(self, survivors: List[Tuple[ChunkId, bytes, List[int]]]) -> None:
+        """Re-commit the current versions to the log tail (one commit)."""
+        store = self.store
+        codec = store.codec
+        if store.config.validation_mode == "counter":
+            store.validator.begin_commit()
+        record = CleanerRecord(
+            [(cid.height, cid.rank, pids) for cid, body, pids in survivors]
+        )
+        version = codec.build_unnamed(VersionKind.CLEANER, record.encode())
+        store._append_version(version)
+        for cid, body, pids in survivors:
+            state = store._state(pids[0])
+            rewritten, digest = codec.build_named(cid, body, state.cipher, state.hash)
+            location = store._append_version(rewritten)
+            descriptor = ChunkDescriptor(
+                ChunkStatus.WRITTEN, location, len(rewritten), digest
+            )
+            for pid in pids:
+                store._apply_chunk_write(
+                    ChunkId(pid, cid.height, cid.rank), descriptor.copy()
+                )
+            self.rewritten_versions += 1
+        store._finalize_commit()

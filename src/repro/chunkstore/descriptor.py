@@ -1,0 +1,100 @@
+"""Chunk descriptors — the slots of the chunk map (§4.3).
+
+A descriptor records everything needed to *locate* and *validate* the
+current version of a chunk:
+
+* status (unallocated / free / written — "unwritten" exists only in
+  volatile memory: allocation is not persistent until the chunk is
+  committed, §4.4);
+* if written: the byte offset of the current version in the untrusted
+  store and the total stored length of that version;
+* if written: the expected hash of the chunk (computed over the plaintext
+  header and body, so the hash binds the chunk's identity and size, not
+  just its contents).
+
+The arrows of Figure 3 are exactly these descriptors: embedding the hash
+next to the location is what merges the Merkle tree into the location map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.util.codec import Decoder, Encoder
+
+
+class ChunkStatus(IntEnum):
+    """Persistent chunk states (volatile UNWRITTEN is not encoded)."""
+
+    UNALLOCATED = 0
+    FREE = 1  # deallocated, rank available for reuse
+    WRITTEN = 2
+
+
+@dataclass
+class ChunkDescriptor:
+    """One slot of a map chunk (or a leader's root slot)."""
+
+    status: ChunkStatus = ChunkStatus.UNALLOCATED
+    location: int = 0
+    length: int = 0
+    body_hash: bytes = b""
+
+    def is_written(self) -> bool:
+        return self.status == ChunkStatus.WRITTEN
+
+    def copy(self) -> "ChunkDescriptor":
+        return ChunkDescriptor(self.status, self.location, self.length, self.body_hash)
+
+    def same_version(self, other: "ChunkDescriptor") -> bool:
+        """True if both descriptors denote the same chunk *content*.
+
+        Used by partition diff (§5.3): hash equality means equal content
+        even if the cleaner relocated one of the versions.  For partitions
+        with a null hash function there is no content hash, so we fall
+        back to comparing locations (a relocation then shows up as a
+        difference — a documented over-approximation).
+        """
+        if self.status != other.status:
+            return False
+        if not self.is_written():
+            return True
+        if self.body_hash or other.body_hash:
+            return self.body_hash == other.body_hash and self.length == other.length
+        return self.location == other.location and self.length == other.length
+
+    def encode(self, enc: Encoder) -> None:
+        enc.uint(int(self.status))
+        if self.status == ChunkStatus.WRITTEN:
+            enc.uint(self.location)
+            enc.uint(self.length)
+            enc.bytes(self.body_hash)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "ChunkDescriptor":
+        status = ChunkStatus(dec.uint())
+        if status == ChunkStatus.WRITTEN:
+            location = dec.uint()
+            length = dec.uint()
+            body_hash = dec.bytes()
+            return cls(status, location, length, body_hash)
+        return cls(status)
+
+
+def encode_descriptor_vector(descriptors) -> bytes:
+    """Encode a map chunk body: a fixed-size vector of descriptors."""
+    enc = Encoder()
+    enc.uint(len(descriptors))
+    for descriptor in descriptors:
+        descriptor.encode(enc)
+    return enc.finish()
+
+
+def decode_descriptor_vector(data: bytes):
+    """Decode a map chunk body."""
+    dec = Decoder(data)
+    count = dec.uint()
+    descriptors = [ChunkDescriptor.decode(dec) for _ in range(count)]
+    dec.expect_exhausted()
+    return descriptors

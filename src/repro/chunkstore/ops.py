@@ -1,0 +1,67 @@
+"""Commit operations (§4.1, §5.1).
+
+A commit atomically applies a set of operations: chunk writes and
+deallocations, and partition writes (create / copy) and deallocations.
+Grouping them in one commit is what lets an application, e.g., store the
+id of a newly-written partition into a chunk of an existing partition in
+one atomic step (§5.1), or store a newly-allocated chunk id in another
+chunk during the same commit (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class WriteChunk:
+    """Set the state of data chunk ``(partition, rank)`` to ``data``."""
+
+    partition: int
+    rank: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class DeallocateChunk:
+    """Deallocate data chunk ``(partition, rank)``; the rank is reusable."""
+
+    partition: int
+    rank: int
+
+
+@dataclass(frozen=True)
+class WritePartition:
+    """Set ``partition`` to an *empty* partition with its own cryptographic
+    parameters (cipher/hash names from the crypto registry; ``key``
+    generated if omitted).
+
+    Writing an already-written partition id resets it to empty (the spec's
+    literal semantics, §5.1) — the backup store uses this to replace a
+    partition's contents on restore.  Existing copy relationships are
+    preserved: copies keep their own (old) state, and the copy lists stay
+    intact for the cleaner's currency checks.
+    """
+
+    partition: int
+    cipher_name: str = "des-cbc"
+    hash_name: str = "sha1"
+    key: Optional[bytes] = None
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class CopyPartition:
+    """Copy the current state of ``source`` to ``partition`` (copy-on-write
+    snapshot; shares all chunks and inherits crypto parameters, §5.3)."""
+
+    partition: int
+    source: int
+
+
+@dataclass(frozen=True)
+class DeallocatePartition:
+    """Deallocate ``partition``, all of its copies, and all their chunks."""
+
+    partition: int

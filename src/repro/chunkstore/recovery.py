@@ -1,0 +1,417 @@
+"""Crash recovery: roll-forward of the residual log (§4.8).
+
+A crash loses buffered chunk-map updates; recovery reconstructs them by
+reading the residual log sequentially from the leader and recomputing each
+version's descriptor from its location and hash.  Validation differs by
+mode:
+
+* **direct hash** — the tamper-resistant store names the leader location
+  and the log tail, and holds the chained hash of every version in
+  between.  Recovery recomputes the chain as it reads; any divergence (or
+  inability to read exactly up to the recorded tail) is tampering.
+* **counter** — the (untrusted) superblock names the leader; the recovery
+  procedure checks that the chunk at that location really is the leader
+  (§4.9.2), then verifies each commit set against its signed commit chunk:
+  the MAC must verify, the set hash must match, and the counts must form
+  an exact sequence starting from the count recorded in the leader.  A
+  trailing commit set that fails its checksum is a torn commit and is
+  discarded (§4.9.3); a count-sequence violation is tampering.  Finally
+  the last count is compared against the tamper-resistant counter within
+  the configured Δut/Δtu windows.
+
+Effects are applied through the same helpers normal commits use, so the
+reconstructed volatile state (descriptor cache, allocation state, segment
+accounting) is identical to what a non-crashed instance would hold.  In
+counter mode, effects buffer per commit set and apply only after the
+commit chunk verifies.
+
+A system-leader version encountered *mid-log* is inert: it means the
+superblock write that would have completed a checkpoint was lost in a
+crash.  Rolling forward from the previous leader reconstructs exactly the
+state the new leader describes, so recovery simply continues past it
+(the next checkpoint will write a fresh leader).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, List, Optional, Tuple
+
+from repro.chunkstore.descriptor import ChunkDescriptor, ChunkStatus
+from repro.chunkstore.ids import (
+    SYSTEM_PARTITION,
+    ChunkId,
+    data_id,
+    leader_id,
+    rank_to_partition,
+)
+from repro.chunkstore.leader import LeaderPayload
+from repro.chunkstore.log import (
+    CleanerRecord,
+    CommitRecord,
+    DeallocateRecord,
+    NextSegmentRecord,
+    VersionHeader,
+    VersionKind,
+)
+from repro.chunkstore.partition import PartitionState
+from repro.errors import TamperDetectedError
+
+
+logger = logging.getLogger("repro.chunkstore.recovery")
+
+
+class _TornTail(Exception):
+    """Internal: the log ends in an incomplete (torn) commit set."""
+
+
+def recover(store) -> None:
+    """Reopen ``store`` from its platform: validate and roll forward."""
+    _Recovery(store).run()
+
+
+class _Recovery:
+    def __init__(self, store) -> None:
+        self.store = store
+        self.config = store.config
+        self.codec = store.codec
+        self.segman = store.segman
+        self.untrusted = store.platform.untrusted
+        self.direct = self.config.validation_mode == "direct"
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _read_version(self, location: int) -> Tuple[VersionHeader, bytes, bytes]:
+        """Read one version; returns (header, header_ct, body_ct).
+
+        Raises TamperDetectedError if the bytes do not parse as a version
+        (in counter mode the caller converts a failure at the log tail
+        into a torn-commit truncation).
+        """
+        header_size = self.codec.header_cipher_size
+        segment = self.segman.segment_of(location)
+        segment_end = self.segman.segment_start(segment) + self.config.segment_size
+        if location + header_size > segment_end:
+            raise TamperDetectedError("version header crosses a segment boundary")
+        header_ct = self.untrusted.read(location, header_size)
+        header = self.codec.parse_header(header_ct)
+        if location + header_size + header.body_cipher_size > segment_end:
+            raise TamperDetectedError("version body crosses a segment boundary")
+        body_ct = self.untrusted.read(location + header_size, header.body_cipher_size)
+        return header, header_ct, body_ct
+
+    # -- main ----------------------------------------------------------------
+
+    def run(self) -> None:
+        """Execute recovery (see the module docstring for the protocol)."""
+        store = self.store
+        if self.direct:
+            expected_chain, tr_tail, leader_loc = store.validator.read_tr()
+        else:
+            stored = type(store)._read_superblock(store.platform)
+            leader_loc = getattr(stored, "stored_leader_location", 0)
+            expected_chain, tr_tail = b"", None
+
+        # --- load and check the leader -------------------------------------
+        try:
+            header, header_ct, body_ct = self._read_version(leader_loc)
+        except TamperDetectedError as exc:
+            raise TamperDetectedError(f"cannot read leader: {exc}") from exc
+        if header.kind != VersionKind.NAMED or header.chunk_id != leader_id(
+            SYSTEM_PARTITION
+        ):
+            raise TamperDetectedError(
+                "the chunk at the stored leader location is not the leader"
+            )
+        body = self.codec.decrypt_body(header, body_ct, self.codec.system_cipher)
+        try:
+            payload = LeaderPayload.decode(body)
+        except ValueError as exc:
+            raise TamperDetectedError(f"undecodable leader payload: {exc}") from exc
+        if payload.system is None:
+            raise TamperDetectedError("leader payload lacks system extras")
+        store.partitions.clear()
+        store.cache.clear()
+        store.partitions[SYSTEM_PARTITION] = PartitionState.open(
+            SYSTEM_PARTITION, payload, key_override=store._system_key
+        )
+        self.segman.load_table(payload.system.segments)
+        store._leader_location = leader_loc
+
+        leader_bytes = header_ct + body_ct
+        validator = store.validator
+        if self.direct:
+            validator.reset_chain()
+            validator.note_version(leader_bytes)
+        else:
+            validator.begin_commit()
+            validator.note_version(leader_bytes)
+
+        leader_segment = self.segman.segment_of(leader_loc)
+        cursor = leader_loc + len(leader_bytes)
+        self._set_tail(cursor, leader_segment)
+        if leader_segment not in self.segman.residual_segments:
+            self.segman.residual_segments = [leader_segment]
+
+        # --- roll forward ----------------------------------------------------
+        expected_count = payload.system.checkpoint_count
+        pending: List[Callable[[], None]] = []
+        #: pre-announced cleaner targets: (height, rank, pids), in order
+        cleaner_queue: List[Tuple[int, int, List[int]]] = []
+        last_good = cursor
+        claims_since_good: List[int] = []
+
+        try:
+            while True:
+                if self.direct:
+                    if cursor == tr_tail:
+                        break
+                    if tr_tail is not None and cursor > tr_tail:
+                        raise TamperDetectedError(
+                            "residual log overran the recorded tail"
+                        )
+                try:
+                    header, header_ct, body_ct = self._read_version(cursor)
+                except TamperDetectedError:
+                    if self.direct:
+                        raise TamperDetectedError(
+                            "residual log unreadable before the recorded tail"
+                        )
+                    raise _TornTail()
+                version_bytes = header_ct + body_ct
+                kind = header.kind
+
+                if kind == VersionKind.NEXT_SEGMENT:
+                    if self.direct:
+                        validator.note_version(version_bytes)
+                    try:
+                        record = NextSegmentRecord.decode(
+                            self.codec.decrypt_body(
+                                header, body_ct, self.codec.system_cipher
+                            )
+                        )
+                        nxt = record.next_segment
+                        if not 0 <= nxt < self.segman.segment_count:
+                            raise TamperDetectedError(
+                                "next-segment index out of range"
+                            )
+                        if nxt in self.segman.residual_segments:
+                            raise TamperDetectedError("next-segment chain loops")
+                    except TamperDetectedError:
+                        if self.direct:
+                            raise
+                        # stale residue of a reclaimed segment: torn tail
+                        raise _TornTail()
+                    if nxt in self.segman.free_segments:
+                        self.segman.free_segments.remove(nxt)
+                    self.segman.residual_segments.append(nxt)
+                    claims_since_good.append(nxt)
+                    self._advance(cursor, len(version_bytes))
+                    cursor = self.segman.segment_start(nxt)
+                    self._set_tail(cursor, nxt)
+                    continue
+
+                if kind == VersionKind.COMMIT:
+                    if self.direct:
+                        raise TamperDetectedError(
+                            "commit chunk found under direct hash validation"
+                        )
+                    set_hash = validator.current_set_hash()
+                    try:
+                        record = CommitRecord.decode(
+                            self.codec.decrypt_body(
+                                header, body_ct, self.codec.system_cipher
+                            )
+                        )
+                    except (TamperDetectedError, ValueError):
+                        raise _TornTail()
+                    if not validator.verify_commit_record(record, set_hash):
+                        raise _TornTail()
+                    if record.count < expected_count:
+                        # a validly-signed but *older* commit set can only be
+                        # stale residue of a reclaimed segment beyond the true
+                        # tail (or an attacker splicing old sets, which the
+                        # final counter-window check bounds): torn tail
+                        raise _TornTail()
+                    if record.count > expected_count:
+                        raise TamperDetectedError(
+                            f"commit count sequence broken: expected "
+                            f"{expected_count}, found {record.count}"
+                        )
+                    if cleaner_queue:
+                        raise TamperDetectedError(
+                            "cleaner record not fully consumed by its commit set"
+                        )
+                    for effect in pending:
+                        effect()
+                    pending.clear()
+                    expected_count += 1
+                    self._advance(cursor, len(version_bytes))
+                    cursor += len(version_bytes)
+                    last_good = cursor
+                    claims_since_good.clear()
+                    validator.begin_commit()
+                    continue
+
+                # NAMED / DEALLOCATE / CLEANER all count into the set hash
+                validator.note_version(version_bytes)
+                try:
+                    effect = self._effect_for(header, body_ct, cursor, cleaner_queue)
+                except TamperDetectedError:
+                    if self.direct:
+                        raise
+                    raise _TornTail()  # undecodable stale residue
+                if effect is not None:
+                    if self.direct:
+                        effect()
+                    else:
+                        pending.append(effect)
+                self._advance(cursor, len(version_bytes))
+                cursor += len(version_bytes)
+                if self.direct:
+                    last_good = cursor
+        except _TornTail:
+            # Discard the incomplete suffix: un-claim segments the torn
+            # region pulled in and truncate the tail.
+            for segment in claims_since_good:
+                if segment in self.segman.residual_segments:
+                    self.segman.residual_segments.remove(segment)
+                self.segman.used_bytes[segment] = 0
+                self.segman.live_bytes[segment] = 0
+                if segment not in self.segman.free_segments:
+                    self.segman.free_segments.append(segment)
+            pending.clear()
+            cleaner_queue.clear()
+            cursor = last_good
+
+        if self.direct:
+            if validator.chain != expected_chain:
+                raise TamperDetectedError(
+                    "residual log hash does not match the tamper-resistant store"
+                )
+        else:
+            validator.check_final_count(expected_count - 1)
+            validator.begin_commit()
+
+        tail_segment = self.segman.segment_of(cursor)
+        self._set_tail(cursor, tail_segment)
+        self.segman.used_bytes[tail_segment] = (
+            cursor - self.segman.segment_start(tail_segment)
+        )
+
+        for state in store.partitions.values():
+            state.reset_allocator()
+        logger.info(
+            "recovery complete: mode=%s, tail at %d, %d partition(s) open",
+            self.config.validation_mode,
+            cursor,
+            len(store.partitions),
+        )
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _set_tail(self, cursor: int, segment: int) -> None:
+        self.segman.tail_segment = segment
+        self.segman.tail_offset = cursor - self.segman.segment_start(segment)
+        self.segman.used_bytes[segment] = max(
+            self.segman.used_bytes[segment], self.segman.tail_offset
+        )
+
+    def _advance(self, location: int, size: int) -> None:
+        segment = self.segman.segment_of(location)
+        offset = location - self.segman.segment_start(segment) + size
+        self.segman.used_bytes[segment] = max(self.segman.used_bytes[segment], offset)
+        self.segman.tail_segment = segment
+        self.segman.tail_offset = offset
+
+    def _effect_for(
+        self,
+        header: VersionHeader,
+        body_ct: bytes,
+        location: int,
+        cleaner_queue: List[Tuple[int, int, List[int]]],
+    ) -> Optional[Callable[[], None]]:
+        store = self.store
+        codec = self.codec
+        kind = header.kind
+
+        if kind == VersionKind.DEALLOCATE:
+            record = DeallocateRecord.decode(
+                codec.decrypt_body(header, body_ct, codec.system_cipher)
+            )
+
+            def dealloc_effect() -> None:
+                for cid in record.chunk_ids:
+                    store._apply_chunk_dealloc(cid)
+                if record.partition_ids:
+                    store._apply_partition_dealloc(record.partition_ids)
+
+            return dealloc_effect
+
+        if kind == VersionKind.CLEANER:
+            record = CleanerRecord.decode(
+                codec.decrypt_body(header, body_ct, codec.system_cipher)
+            )
+            cleaner_queue.extend(record.entries)
+            return None
+
+        if kind != VersionKind.NAMED:
+            raise TamperDetectedError(f"unexpected version kind {kind}")
+
+        cid = header.chunk_id
+        if cid == leader_id(SYSTEM_PARTITION):
+            return None  # inert: an unadopted checkpoint leader (see docstring)
+
+        # Is this version a cleaner rewrite announced by a CLEANER record?
+        targets: Optional[List[int]] = None
+        if cleaner_queue and cleaner_queue[0][:2] == (header.height, header.rank):
+            _height, _rank, targets = cleaner_queue.pop(0)
+
+        if (
+            cid.partition == SYSTEM_PARTITION
+            and cid.height == 0
+            and targets is None
+        ):
+            # a partition leader: decode now (system cipher), apply later
+            body = codec.decrypt_body(header, body_ct, codec.system_cipher)
+            try:
+                payload = LeaderPayload.decode(body)
+            except ValueError as exc:
+                raise TamperDetectedError(
+                    f"undecodable partition leader at {location}: {exc}"
+                ) from exc
+            digest = codec.descriptor_hash(
+                header, body, store.partitions[SYSTEM_PARTITION].hash
+            )
+            descriptor = ChunkDescriptor(
+                ChunkStatus.WRITTEN,
+                location,
+                codec.header_cipher_size + len(body_ct),
+                digest,
+            )
+            pid = rank_to_partition(cid.rank)
+
+            def leader_effect() -> None:
+                store._apply_partition_leader(pid, payload, descriptor)
+
+            return leader_effect
+
+        def chunk_effect() -> None:
+            state = store._state(header.partition)
+            body = codec.decrypt_body(header, body_ct, state.cipher)
+            digest = codec.descriptor_hash(header, body, state.hash)
+            descriptor = ChunkDescriptor(
+                ChunkStatus.WRITTEN,
+                location,
+                codec.header_cipher_size + len(body_ct),
+                digest,
+            )
+            if targets is None:
+                store._apply_chunk_write(cid, descriptor)
+            else:
+                for pid in targets:
+                    store._apply_chunk_write(
+                        ChunkId(pid, cid.height, cid.rank), descriptor.copy()
+                    )
+
+        return chunk_effect

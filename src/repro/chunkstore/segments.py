@@ -1,0 +1,163 @@
+"""Segment management (§4.9.4, §4.9.5).
+
+The untrusted store is divided into fixed-size segments.  The log is a
+sequence of potentially non-adjacent segments chained by next-segment
+chunks.  This module tracks, per segment:
+
+* ``used_bytes`` — how far the log wrote into the segment (the extent the
+  cleaner and recovery may read sequentially);
+* ``live_bytes`` — an *estimate* of current (non-obsolete) data, driving
+  the cleaner's segment selection.  The estimate ignores sharing between
+  partition copies (a version superseded in P may still be current in a
+  copy of P), which can only make a segment look *emptier* than it is;
+  the cleaner re-checks currency per version, so this costs efficiency,
+  never correctness.
+
+Layout: segment ``i`` occupies bytes
+``[superblock_size + i·segment_size, superblock_size + (i+1)·segment_size)``
+of the untrusted store.
+
+Deviation from the paper, documented: each checkpoint starts a fresh
+segment, so the residual log always begins at a segment boundary.  The
+paper instead records an arbitrary leader location; starting a segment
+costs a little space per checkpoint and simplifies the residual-chain
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.chunkstore.leader import SegmentTable
+from repro.errors import StorageFullError
+
+
+class SegmentManager:
+    """Allocation, tail tracking, and utilization accounting for segments."""
+
+    def __init__(
+        self, superblock_size: int, segment_size: int, store_size: int
+    ) -> None:
+        self.superblock_size = superblock_size
+        self.segment_size = segment_size
+        self.segment_count = (store_size - superblock_size) // segment_size
+        if self.segment_count < 2:
+            raise ValueError(
+                "untrusted store too small: need at least 2 segments"
+            )
+        self.used_bytes: List[int] = [0] * self.segment_count
+        self.live_bytes: List[int] = [0] * self.segment_count
+        self.free_segments: List[int] = list(range(self.segment_count - 1, -1, -1))
+        self.tail_segment: int = 0
+        self.tail_offset: int = 0
+        self.residual_segments: List[int] = []
+
+    # -- geometry ------------------------------------------------------------
+
+    def segment_start(self, segment: int) -> int:
+        return self.superblock_size + segment * self.segment_size
+
+    def segment_of(self, location: int) -> int:
+        return (location - self.superblock_size) // self.segment_size
+
+    @property
+    def tail_location(self) -> int:
+        return self.segment_start(self.tail_segment) + self.tail_offset
+
+    def remaining_in_tail(self) -> int:
+        return self.segment_size - self.tail_offset
+
+    # -- allocation ----------------------------------------------------------
+
+    def claim_free_segment(self) -> int:
+        """Take a free segment for the log chain."""
+        if not self.free_segments:
+            raise StorageFullError(
+                "no free segments; the log is full (clean or grow the store)"
+            )
+        segment = self.free_segments.pop()
+        self.used_bytes[segment] = 0
+        self.live_bytes[segment] = 0
+        return segment
+
+    def free_segment_count(self) -> int:
+        return len(self.free_segments)
+
+    def jump_to(self, segment: int) -> None:
+        """Move the tail to the start of ``segment`` (already claimed)."""
+        self.tail_segment = segment
+        self.tail_offset = 0
+        self.residual_segments.append(segment)
+
+    def begin_residual(self, segment: int) -> None:
+        """A checkpoint starts: the residual log restarts at ``segment``."""
+        self.residual_segments = [segment]
+        self.tail_segment = segment
+        self.tail_offset = 0
+
+    def advance(self, nbytes: int) -> None:
+        self.tail_offset += nbytes
+        if self.tail_offset > self.segment_size:
+            raise AssertionError("log tail overran its segment")
+        self.used_bytes[self.tail_segment] = max(
+            self.used_bytes[self.tail_segment], self.tail_offset
+        )
+
+    def release_segment(self, segment: int) -> None:
+        """Mark a cleaned segment free (volatile until next checkpoint)."""
+        if segment in self.residual_segments:
+            raise AssertionError("must not release a residual-log segment")
+        self.used_bytes[segment] = 0
+        self.live_bytes[segment] = 0
+        self.free_segments.append(segment)
+
+    # -- utilization ---------------------------------------------------------
+
+    def add_live(self, location: int, nbytes: int) -> None:
+        self.live_bytes[self.segment_of(location)] += nbytes
+
+    def sub_live(self, location: int, nbytes: int) -> None:
+        segment = self.segment_of(location)
+        self.live_bytes[segment] = max(0, self.live_bytes[segment] - nbytes)
+
+    def cleanable_segments(self) -> List[int]:
+        """Checkpointed-log segments, emptiest first (§4.9.5)."""
+        residual = set(self.residual_segments)
+        free = set(self.free_segments)
+        candidates = [
+            seg
+            for seg in range(self.segment_count)
+            if seg not in residual and seg not in free and self.used_bytes[seg] > 0
+        ]
+        candidates.sort(key=lambda seg: self.live_bytes[seg])
+        return candidates
+
+    def stored_bytes(self) -> int:
+        """Total bytes the log currently occupies (for §9.3/§9.5.2)."""
+        return sum(self.used_bytes)
+
+    def live_total(self) -> int:
+        return sum(self.live_bytes)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_table(self) -> SegmentTable:
+        return SegmentTable(
+            tail_segment=self.tail_segment,
+            free_segments=list(self.free_segments),
+            used_bytes=list(self.used_bytes),
+            live_bytes=list(self.live_bytes),
+            residual_segments=list(self.residual_segments),
+        )
+
+    def load_table(self, table: SegmentTable) -> None:
+        if len(table.used_bytes) != self.segment_count:
+            raise ValueError(
+                "segment table size mismatch: store geometry changed?"
+            )
+        self.tail_segment = table.tail_segment
+        self.free_segments = list(table.free_segments)
+        self.used_bytes = list(table.used_bytes)
+        self.live_bytes = list(table.live_bytes)
+        self.residual_segments = list(table.residual_segments)
+        self.tail_offset = table.used_bytes[table.tail_segment]

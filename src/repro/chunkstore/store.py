@@ -1,0 +1,1303 @@
+"""The chunk store (§4, §5): trusted storage for named chunks.
+
+This is TDB's core contribution: a log-structured store whose location map
+*is* a Merkle tree.  Every piece of persistent state — application data,
+indexing metadata of higher modules, the chunk map itself, partition
+leaders — is a chunk, encrypted before it reaches the untrusted store and
+validated against a hash held (directly or transitively) in the
+tamper-resistant store when it is read back.
+
+Public surface
+==============
+
+``ChunkStore.format(platform, config)``
+    provision a fresh store (writes the initial checkpoint).
+``ChunkStore.open(platform, config)``
+    reopen after a shutdown or crash; runs recovery (roll-forward of the
+    residual log + validation against the tamper-resistant store).
+``allocate_partition`` / ``allocate_chunk``
+    hand out ids (volatile until committed, §4.4).
+``commit(ops)``
+    atomically apply chunk writes/deallocations and partition
+    creates/copies/deallocations (§4.6, §5.1).
+``read_chunk(pid, rank)``
+    locate and validate a chunk (§4.5).
+``diff(old_pid, new_pid)``
+    compare two partitions' contents via their position maps (§5.3).
+``checkpoint()``
+    propagate buffered descriptors up the map and write a new leader
+    (§4.7).
+``clean(...)``
+    reclaim obsolete chunk versions (§4.9.5) — see
+    :mod:`repro.chunkstore.cleaner`.
+
+Concurrency: operations are serialized with a single re-entrant lock —
+"mutual exclusion, which does not overlap I/O and computation, but is
+simple and acceptable when concurrency is low" (§4.2).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.bench.profiler import profiled
+from repro.chunkstore.cache import DescriptorCache
+from repro.chunkstore.config import StoreConfig, mac_key, system_cipher_key
+from repro.chunkstore.descriptor import (
+    ChunkDescriptor,
+    ChunkStatus,
+    decode_descriptor_vector,
+    encode_descriptor_vector,
+)
+from repro.chunkstore.ids import (
+    SYSTEM_PARTITION,
+    ChunkId,
+    data_id,
+    leader_id,
+    partition_rank,
+    rank_to_partition,
+    required_height,
+)
+from repro.chunkstore.leader import LeaderPayload, SystemExtras
+from repro.chunkstore.log import (
+    DeallocateRecord,
+    LogCodec,
+    NextSegmentRecord,
+    VersionHeader,
+    VersionKind,
+)
+from repro.chunkstore.ops import (
+    CopyPartition,
+    DeallocateChunk,
+    DeallocatePartition,
+    WriteChunk,
+    WritePartition,
+)
+from repro.chunkstore.partition import PartitionState, generate_partition_key
+from repro.chunkstore.segments import SegmentManager
+from repro.chunkstore.validation import CounterValidation, DirectValidation
+from repro.crypto.mac import Mac
+from repro.crypto.registry import KEY_SIZES, make_cipher, make_hash
+from repro.errors import (
+    ChunkNotAllocatedError,
+    ChunkNotWrittenError,
+    ChunkStoreError,
+    PartitionNotFoundError,
+    StorageFullError,
+    TamperDetectedError,
+)
+from repro.platform.trusted_platform import TrustedPlatform
+from repro.util.checksum import crc32_bytes
+from repro.util.codec import Decoder, Encoder
+
+_SUPERBLOCK_MAGIC = b"TDB1"
+
+logger = logging.getLogger("repro.chunkstore")
+
+
+class DiffChange:
+    """Kinds of per-position change reported by :meth:`ChunkStore.diff`."""
+
+    ADDED = "added"
+    CHANGED = "changed"
+    REMOVED = "removed"
+
+
+class ChunkStore:
+    """Trusted chunk storage over an untrusted log (see module docstring)."""
+
+    def __init__(self, platform: TrustedPlatform, config: StoreConfig) -> None:
+        """Internal; use :meth:`format` or :meth:`open`."""
+        self.platform = platform
+        self.config = config
+        secret = platform.secret_store.read()
+        system_cipher = make_cipher(
+            config.system_cipher, system_cipher_key(secret, config.system_cipher)
+        )
+        system_hash = make_hash(config.system_hash)
+        if system_hash.digest_size == 0:
+            raise ValueError("the system hash function must not be null")
+        self.codec = LogCodec(system_cipher, system_hash)
+        self.mac = Mac(mac_key(secret), system_hash)
+        self.segman = SegmentManager(
+            config.superblock_size, config.segment_size, platform.untrusted.size
+        )
+        self.cache = DescriptorCache(config.cache_size)
+        self.partitions: Dict[int, PartitionState] = {}
+        if config.validation_mode == "direct":
+            self.validator = DirectValidation(platform.tamper_resistant, system_hash)
+        else:
+            self.validator = CounterValidation(
+                platform.counter,
+                system_hash,
+                self.mac,
+                config.delta_ut,
+                config.delta_tu,
+            )
+        self._lock = threading.RLock()
+        self._leader_location = 0
+        self._system_key = system_cipher_key(secret, config.system_cipher)
+        self._next_segment_size = self.codec.version_size(
+            NextSegmentRecord.BODY_SIZE, system_cipher
+        )
+        self._in_maintenance = False
+        self._closed = False
+        self._failed = False
+        self.commit_count_stat = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def format(
+        cls, platform: TrustedPlatform, config: Optional[StoreConfig] = None
+    ) -> "ChunkStore":
+        """Provision a fresh, empty store and write its first checkpoint."""
+        config = config or StoreConfig()
+        store = cls(platform, config)
+        system_payload = LeaderPayload(
+            cipher_name=config.system_cipher,
+            hash_name=config.system_hash,
+            key=b"",  # the system key is derived from the secret store
+            system=SystemExtras(),
+        )
+        store.partitions[SYSTEM_PARTITION] = PartitionState.open(
+            SYSTEM_PARTITION, system_payload, key_override=store._system_key
+        )
+        with store._lock:
+            store._write_checkpoint(initial=True)
+        return store
+
+    @classmethod
+    def open(
+        cls, platform: TrustedPlatform, config: Optional[StoreConfig] = None
+    ) -> "ChunkStore":
+        """Reopen an existing store; validates and rolls the residual log
+        forward (§4.8).  Raises :class:`TamperDetectedError` if the
+        untrusted store fails validation."""
+        from repro.chunkstore.recovery import recover
+
+        stored = cls._read_superblock(platform)
+        if config is None:
+            config = stored
+        else:
+            # Geometry and mode come from the superblock; mismatches are
+            # either operator error or tampering with the (unauthenticated)
+            # superblock — both surface as validation failures later, but
+            # catching geometry divergence here gives a clearer error.
+            for attr in (
+                "segment_size",
+                "fanout",
+                "validation_mode",
+                "system_cipher",
+                "system_hash",
+                "superblock_size",
+            ):
+                if getattr(config, attr) != getattr(stored, attr):
+                    raise ChunkStoreError(
+                        f"config {attr}={getattr(config, attr)!r} does not match "
+                        f"stored {getattr(stored, attr)!r}"
+                    )
+        store = cls(platform, config)
+        with store._lock:
+            recover(store)
+        return store
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Shut down cleanly (checkpointing buffered map updates)."""
+        with self._lock:
+            if self._closed:
+                return
+            if checkpoint and not self._failed:
+                self._write_checkpoint()
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    # superblock
+    # ------------------------------------------------------------------
+
+    def _superblock_bytes(self) -> bytes:
+        enc = Encoder()
+        enc.raw(_SUPERBLOCK_MAGIC)
+        enc.uint(1)  # format version
+        enc.uint(self.config.segment_size)
+        enc.uint(self.config.fanout)
+        enc.text(self.config.validation_mode)
+        enc.text(self.config.system_cipher)
+        enc.text(self.config.system_hash)
+        enc.uint(self.config.superblock_size)
+        enc.uint(self.config.delta_ut)
+        enc.uint(self.config.delta_tu)
+        enc.uint(self._leader_location)
+        payload = enc.finish()
+        return payload + crc32_bytes(payload).to_bytes(4, "big")
+
+    def _write_superblock(self) -> None:
+        data = self._superblock_bytes()
+        if len(data) > self.config.superblock_size:
+            raise ChunkStoreError("superblock overflow")
+        self.platform.untrusted.write(0, data.ljust(self.config.superblock_size, b"\x00"))
+        self.platform.untrusted.flush()
+
+    @staticmethod
+    def _read_superblock(platform: TrustedPlatform) -> StoreConfig:
+        head = platform.untrusted.tamper_read(0, 4096)
+        if head[:4] != _SUPERBLOCK_MAGIC:
+            raise ChunkStoreError("no TDB store found (bad superblock magic)")
+        try:
+            dec = Decoder(head, 4)
+            version = dec.uint()
+            if version != 1:
+                raise ChunkStoreError(f"unsupported store format version {version}")
+            segment_size = dec.uint()
+            fanout = dec.uint()
+            mode = dec.text()
+            system_cipher = dec.text()
+            system_hash = dec.text()
+            superblock_size = dec.uint()
+            delta_ut = dec.uint()
+            delta_tu = dec.uint()
+            leader_location = dec.uint()
+            payload_end = dec.position
+            expected_crc = int.from_bytes(head[payload_end : payload_end + 4], "big")
+            if crc32_bytes(head[:payload_end]) != expected_crc:
+                raise TamperDetectedError("superblock checksum mismatch")
+            config = StoreConfig(
+                segment_size=segment_size,
+                fanout=fanout,
+                validation_mode=mode,
+                system_cipher=system_cipher,
+                system_hash=system_hash,
+                delta_ut=delta_ut,
+                delta_tu=delta_tu,
+                superblock_size=superblock_size,
+            )
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise TamperDetectedError(f"corrupt superblock: {exc}") from exc
+        config.stored_leader_location = leader_location  # type: ignore[attr-defined]
+        return config
+
+    # ------------------------------------------------------------------
+    # partition state
+    # ------------------------------------------------------------------
+
+    def _state(self, pid: int) -> PartitionState:
+        state = self.partitions.get(pid)
+        if state is not None:
+            return state
+        if pid == SYSTEM_PARTITION:
+            raise ChunkStoreError("system partition state missing (store not open)")
+        system = self.partitions[SYSTEM_PARTITION]
+        rank = partition_rank(pid)
+        if not system.is_committed_written(rank):
+            raise PartitionNotFoundError(f"partition {pid} is not written")
+        body = self._read_chunk_body(data_id(SYSTEM_PARTITION, rank))
+        payload = LeaderPayload.decode(body)
+        state = PartitionState.open(pid, payload)
+        self.partitions[pid] = state
+        return state
+
+    def partition_exists(self, pid: int) -> bool:
+        if pid == SYSTEM_PARTITION:
+            return True
+        system = self.partitions[SYSTEM_PARTITION]
+        return system.is_committed_written(partition_rank(pid))
+
+    def partition_ids(self) -> List[int]:
+        """Ids of all written partitions (excluding the system partition)."""
+        system = self.partitions[SYSTEM_PARTITION]
+        return [
+            rank_to_partition(rank)
+            for rank in range(system.payload.next_rank)
+            if system.is_committed_written(rank)
+        ]
+
+    def partition_info(self, pid: int) -> Dict[str, object]:
+        state = self._state(pid)
+        return {
+            "cipher": state.payload.cipher_name,
+            "hash": state.payload.hash_name,
+            "chunk_count": state.payload.next_rank - len(state.payload.free_ranks),
+            "copies": list(state.payload.copies),
+            "copy_of": state.payload.copy_of,
+        }
+
+    # ------------------------------------------------------------------
+    # allocation (§4.4)
+    # ------------------------------------------------------------------
+
+    def allocate_partition(self) -> int:
+        """Return an unallocated partition id (volatile until written)."""
+        with self._lock:
+            system = self.partitions[SYSTEM_PARTITION]
+            return rank_to_partition(system.allocate_rank())
+
+    def allocate_chunk(self, pid: int) -> int:
+        """Return an unallocated chunk rank in ``pid`` (volatile until
+        written)."""
+        with self._lock:
+            return self._state(pid).allocate_rank()
+
+    def reserve_partition_id(self, pid: int) -> None:
+        """Make a *specific* partition id allocatable (volatile until its
+        leader is committed).  Used by the backup store, which must restore
+        a partition under its original id even into a fresh database."""
+        with self._lock:
+            self.partitions[SYSTEM_PARTITION].allocate_specific(partition_rank(pid))
+
+    def find_partition(self, name: str) -> Optional[int]:
+        """Look up a partition by the well-known name in its leader.
+
+        Scans all partition leaders; intended for a handful of well-known
+        partitions (e.g. the backup registry, the object-store root)."""
+        with self._lock:
+            for pid in self.partition_ids():
+                try:
+                    if self._state(pid).payload.name == name:
+                        return pid
+                except TamperDetectedError:
+                    raise
+            return None
+
+    # ------------------------------------------------------------------
+    # descriptor lookup — the bottom-up read path (§4.5)
+    # ------------------------------------------------------------------
+
+    def _get_descriptor(self, cid: ChunkId) -> ChunkDescriptor:
+        cached = self.cache.get(cid)
+        if cached is not None:
+            return cached  # dirty descriptors shadow the persistent map
+        state = self._state(cid.partition)
+        height = state.payload.tree_height
+        if cid.height > height or height == 0:
+            return ChunkDescriptor()  # beyond the tree: unallocated
+        if cid.height == height:
+            if cid.rank == 0:
+                return state.payload.root
+            return ChunkDescriptor()
+        parent = cid.parent(self.config.fanout)
+        parent_desc = self._get_descriptor(parent)
+        if not parent_desc.is_written():
+            return ChunkDescriptor()
+        body = self._read_validated(parent, parent_desc, state)
+        descriptors = decode_descriptor_vector(body)
+        if len(descriptors) != self.config.fanout:
+            raise TamperDetectedError(
+                f"map chunk {parent} has {len(descriptors)} slots, "
+                f"expected {self.config.fanout}"
+            )
+        for slot, descriptor in enumerate(descriptors):
+            self.cache.put_clean(parent.child(self.config.fanout, slot), descriptor)
+        result = self.cache.get(cid)
+        return result if result is not None else ChunkDescriptor()
+
+    # ------------------------------------------------------------------
+    # reading and validating versions
+    # ------------------------------------------------------------------
+
+    def _read_version_at(self, location: int) -> Tuple[VersionHeader, bytes]:
+        """Read and parse one version; returns (header, body ciphertext).
+
+        A tampered header can decrypt to arbitrary garbage, including
+        absurd body sizes — those are tampering, not I/O errors."""
+        untrusted = self.platform.untrusted
+        with profiled("untrusted store read"):
+            header_ct = untrusted.read(location, self.codec.header_cipher_size)
+        header = self.codec.parse_header(header_ct)
+        body_end = location + self.codec.header_cipher_size + header.body_cipher_size
+        segment_end = (
+            self.segman.segment_start(self.segman.segment_of(location))
+            + self.config.segment_size
+        )
+        if header.body_cipher_size > self.config.segment_size or body_end > min(
+            untrusted.size, segment_end
+        ):
+            raise TamperDetectedError(
+                f"version at {location} declares an implausible body size "
+                f"{header.body_cipher_size}"
+            )
+        with profiled("untrusted store read"):
+            body_ct = untrusted.read(
+                location + self.codec.header_cipher_size, header.body_cipher_size
+            )
+        return header, body_ct
+
+    def _read_validated(
+        self, cid: ChunkId, descriptor: ChunkDescriptor, state: PartitionState
+    ) -> bytes:
+        """Read the version ``descriptor`` points at, decrypt it with the
+        partition cipher, and validate it against the descriptor hash."""
+        header, body_ct = self._read_version_at(descriptor.location)
+        if header.kind != VersionKind.NAMED:
+            raise TamperDetectedError(f"chunk {cid}: version kind mismatch")
+        if (header.height, header.rank) != (cid.height, cid.rank):
+            raise TamperDetectedError(
+                f"chunk {cid}: stored position {header.height}.{header.rank} "
+                f"does not match"
+            )
+        with profiled("encryption"):
+            body = self.codec.decrypt_body(header, body_ct, state.cipher)
+        with profiled("hashing"):
+            computed = self.codec.descriptor_hash(header, body, state.hash)
+        if computed != descriptor.body_hash:
+            raise TamperDetectedError(f"chunk {cid}: hash mismatch")
+        return body
+
+    def _read_chunk_body(self, cid: ChunkId) -> bytes:
+        descriptor = self._get_descriptor(cid)
+        if descriptor.status == ChunkStatus.WRITTEN:
+            return self._read_validated(cid, descriptor, self._state(cid.partition))
+        state = self._state(cid.partition)
+        if cid.height == 0 and (
+            cid.rank in state.pending_ranks or not state.is_committed_written(cid.rank)
+        ):
+            if cid.rank in state.pending_ranks:
+                raise ChunkNotWrittenError(f"chunk {cid} is allocated but unwritten")
+            raise ChunkNotAllocatedError(f"chunk {cid} is not allocated")
+        raise TamperDetectedError(
+            f"chunk {cid} should be written but its descriptor says "
+            f"{descriptor.status.name}"
+        )
+
+    def read_chunk(self, pid: int, rank: int) -> bytes:
+        """Return the last written state of chunk ``(pid, rank)`` (§4.5)."""
+        with self._lock, profiled("chunk store"):
+            return self._read_chunk_body(data_id(pid, rank))
+
+    def chunk_status(self, pid: int, rank: int) -> str:
+        """Introspection: 'written', 'unwritten', 'free', or 'unallocated'."""
+        with self._lock:
+            state = self._state(pid)
+            if rank in state.pending_ranks:
+                return "unwritten"
+            if state.is_committed_written(rank):
+                return "written"
+            if rank in state.payload.free_ranks:
+                return "free"
+            return "unallocated"
+
+    # ------------------------------------------------------------------
+    # appending to the log
+    # ------------------------------------------------------------------
+
+    def _note(self, version_bytes: bytes, in_commit_set: bool) -> None:
+        if self.config.validation_mode == "direct":
+            self.validator.note_version(version_bytes)
+        elif in_commit_set:
+            self.validator.note_version(version_bytes)
+
+    def _append_version(self, version_bytes: bytes, in_commit_set: bool = True) -> int:
+        """Append one version at the log tail, jumping segments as needed.
+
+        Returns the absolute location of the version.  NEXT_SEGMENT
+        versions created by jumps are excluded from counter-mode commit-set
+        hashes (see :mod:`repro.chunkstore.validation`).
+        """
+        size = len(version_bytes)
+        limit = self.config.segment_size - self._next_segment_size
+        if size > limit:
+            raise ChunkStoreError(
+                f"version of {size} bytes exceeds the maximum of {limit} "
+                f"(segment size {self.config.segment_size})"
+            )
+        segman = self.segman
+        if segman.tail_offset + size + self._next_segment_size > self.config.segment_size:
+            new_segment = segman.claim_free_segment()
+            jump = self.codec.build_unnamed(
+                VersionKind.NEXT_SEGMENT, NextSegmentRecord(new_segment).encode()
+            )
+            location = segman.tail_location
+            with profiled("untrusted store write"):
+                self.platform.untrusted.write(location, jump)
+            self._note(jump, in_commit_set=False)
+            segman.advance(len(jump))
+            segman.jump_to(new_segment)
+        location = segman.tail_location
+        with profiled("untrusted store write"):
+            self.platform.untrusted.write(location, version_bytes)
+        self._note(version_bytes, in_commit_set)
+        segman.advance(size)
+        return location
+
+    def _flush_untrusted(self) -> None:
+        with profiled("untrusted store write"):
+            self.platform.untrusted.flush()
+        if self.config.validation_mode == "counter":
+            self.validator.note_flushed()
+
+    # ------------------------------------------------------------------
+    # effect application — shared between commit and recovery roll-forward
+    # ------------------------------------------------------------------
+
+    def _apply_chunk_write(
+        self, cid: ChunkId, descriptor: ChunkDescriptor
+    ) -> None:
+        """Install a committed chunk write into cache, allocation state,
+        and utilization accounting."""
+        state = self._state(cid.partition)
+        old = self.cache.get(cid)
+        if old is None and state.payload.tree_height >= max(cid.height, 1):
+            try:
+                old = self._get_descriptor(cid)
+            except TamperDetectedError:
+                old = None  # accounting only; validation happens on real reads
+        if old is not None and old.is_written():
+            self.segman.sub_live(old.location, old.length)
+        self.segman.add_live(descriptor.location, descriptor.length)
+        self.cache.put_dirty(cid, descriptor)
+        if cid.height == 0:
+            state.apply_committed_write(cid.rank)
+        state.leader_dirty = True
+
+    def _apply_chunk_dealloc(self, cid: ChunkId) -> None:
+        state = self._state(cid.partition)
+        old = self.cache.get(cid)
+        if old is None:
+            try:
+                old = self._get_descriptor(cid)
+            except TamperDetectedError:
+                old = None
+        if old is not None and old.is_written():
+            self.segman.sub_live(old.location, old.length)
+        self.cache.put_dirty(cid, ChunkDescriptor(ChunkStatus.FREE))
+        state.apply_committed_dealloc(cid.rank)
+
+    def _apply_partition_leader(
+        self, pid: int, payload: LeaderPayload, descriptor: ChunkDescriptor
+    ) -> None:
+        """A partition leader chunk was committed (create, copy, or leader
+        rewrite): refresh the open partition state."""
+        existing = self.partitions.get(pid)
+        if existing is not None and existing.payload is payload:
+            # rewrite of the live payload (e.g. a copy source's updated
+            # copies list): state — including volatile allocations — stays
+            existing.leader_dirty = False
+        else:
+            self.partitions[pid] = PartitionState.open(pid, payload)
+        self._apply_chunk_write(data_id(SYSTEM_PARTITION, partition_rank(pid)), descriptor)
+
+    def _collect_copy_family(self, pid: int) -> List[int]:
+        """``pid`` plus all transitive copies (§5.1: deallocating a
+        partition deallocates its copies)."""
+        family: List[int] = []
+        queue = [pid]
+        seen: Set[int] = set()
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            family.append(current)
+            if not self.partition_exists(current):
+                continue
+            try:
+                state = self._state(current)
+            except (PartitionNotFoundError, TamperDetectedError):
+                continue
+            queue.extend(state.payload.copies)
+        return family
+
+    def _iter_partition_locations(self, pid: int) -> Iterator[Tuple[int, int]]:
+        """Yield (location, length) of every written descriptor reachable
+        from ``pid``'s position map — data and map chunks.  Best-effort
+        (skips unreadable subtrees); used only for utilization estimates."""
+        try:
+            state = self._state(pid)
+        except (PartitionNotFoundError, TamperDetectedError):
+            return
+        payload = state.payload
+        if payload.tree_height == 0:
+            return
+        stack = [(ChunkId(pid, payload.tree_height, 0), payload.root)]
+        while stack:
+            cid, descriptor = stack.pop()
+            if not descriptor.is_written():
+                continue
+            yield descriptor.location, descriptor.length
+            if cid.height == 0:
+                continue
+            try:
+                body = self._read_validated(cid, descriptor, state)
+            except (TamperDetectedError, ValueError):
+                continue
+            try:
+                children = decode_descriptor_vector(body)
+            except ValueError:
+                continue
+            for slot, child in enumerate(children):
+                # prefer the cache view: dirty descriptors shadow the map
+                child_id = cid.child(self.config.fanout, slot)
+                cached = self.cache.get(child_id)
+                stack.append((child_id, cached if cached is not None else child))
+
+    def _apply_partition_dealloc(self, family: Iterable[int]) -> None:
+        system = self.partitions[SYSTEM_PARTITION]
+        # subtract live bytes once per distinct version across the family
+        locations: Set[Tuple[int, int]] = set()
+        for pid in family:
+            for loc_len in self._iter_partition_locations(pid):
+                locations.add(loc_len)
+        for location, length in locations:
+            self.segman.sub_live(location, length)
+        for pid in family:
+            state = self.partitions.get(pid)
+            parent = state.payload.copy_of if state else None
+            if parent is not None and parent not in family:
+                parent_state = self.partitions.get(parent)
+                if parent_state and pid in parent_state.payload.copies:
+                    parent_state.payload.copies.remove(pid)
+                    parent_state.leader_dirty = True
+            self.cache.drop_partition(pid)
+            self.partitions.pop(pid, None)
+            rank = partition_rank(pid)
+            if system.is_committed_written(rank):
+                self._apply_chunk_dealloc(data_id(SYSTEM_PARTITION, rank))
+        system.leader_dirty = True
+
+    # ------------------------------------------------------------------
+    # commit (§4.6, §5.1)
+    # ------------------------------------------------------------------
+
+    def commit(self, operations: Sequence[object]) -> None:
+        """Atomically apply a set of operations (see
+        :mod:`repro.chunkstore.ops`).  The commit is durable when this
+        method returns; a crash at any earlier point leaves the store in
+        its prior committed state."""
+        with self._lock, profiled("chunk store"):
+            self._check_open()
+            self._validate_operations(operations)
+            if self.cache.dirty_count() >= self.config.checkpoint_dirty_threshold:
+                self._write_checkpoint()
+            if any(isinstance(op, CopyPartition) for op in operations):
+                # Copies snapshot via the leader payload, whose root must be
+                # current: flush buffered descriptors first (see DESIGN.md).
+                if self.cache.dirty_count() > 0 or any(
+                    s.leader_dirty for s in self.partitions.values()
+                ):
+                    self._write_checkpoint()
+            self._ensure_capacity(self._estimate_commit_bytes(operations))
+            try:
+                self._commit_locked(operations)
+            except BaseException:
+                # a failure *during* the commit (crash injection or an
+                # unexpected error past the preflight checks) leaves
+                # volatile state half-applied; the only safe continuation
+                # is recovery from the durable log
+                self._failed = True
+                raise
+            self.commit_count_stat += 1
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ChunkStoreError("chunk store is closed")
+        if self._failed:
+            raise ChunkStoreError(
+                "chunk store is in a failed state after an interrupted "
+                "commit; reopen it to recover from the log"
+            )
+
+    def _validate_operations(self, operations: Sequence[object]) -> None:
+        """Pre-flight checks so failures surface before any mutation."""
+        written_here: Set[Tuple[int, int]] = set()
+        # collect first so chunk writes into partitions created by this
+        # same commit validate regardless of operation order
+        partitions_written_here: Set[int] = {
+            op.partition
+            for op in operations
+            if isinstance(op, (WritePartition, CopyPartition))
+        }
+        for op in operations:
+            if isinstance(op, WriteChunk):
+                key = (op.partition, op.rank)
+                if key in written_here:
+                    raise ChunkStoreError(
+                        f"duplicate write to chunk {op.partition}:0.{op.rank} "
+                        f"in one commit"
+                    )
+                written_here.add(key)
+                # size must be checked *before* any mutation: a mid-commit
+                # failure would leave earlier operations half-applied
+                limit = self.config.segment_size - self._next_segment_size
+                worst_case = self.codec.header_cipher_size + len(op.data) + 64
+                if worst_case > limit:
+                    raise ChunkStoreError(
+                        f"chunk of {len(op.data)} bytes exceeds the segment "
+                        f"capacity ({limit} bytes incl. overhead)"
+                    )
+                if op.partition in partitions_written_here:
+                    continue  # chunk in a partition created by this commit
+                self._state(op.partition).require_allocated(op.rank)
+            elif isinstance(op, DeallocateChunk):
+                if op.partition in partitions_written_here:
+                    raise ChunkStoreError(
+                        "cannot deallocate chunks of a partition created in "
+                        "the same commit"
+                    )
+                self._state(op.partition).require_allocated(op.rank)
+            elif isinstance(op, WritePartition):
+                system = self.partitions[SYSTEM_PARTITION]
+                rank = partition_rank(op.partition)
+                system.require_allocated(rank)
+                if op.key is not None and len(op.key) != KEY_SIZES.get(
+                    op.cipher_name, -1
+                ):
+                    raise ChunkStoreError(
+                        f"key size {len(op.key)} wrong for cipher {op.cipher_name!r}"
+                    )
+                make_hash(op.hash_name)  # raises on unknown names
+            elif isinstance(op, CopyPartition):
+                system = self.partitions[SYSTEM_PARTITION]
+                system.require_allocated(partition_rank(op.partition))
+                self._state(op.source)
+            elif isinstance(op, DeallocatePartition):
+                self._state(op.partition)
+            else:
+                raise ChunkStoreError(f"unknown operation {op!r}")
+
+    def _estimate_commit_bytes(self, operations: Sequence[object]) -> int:
+        total = 0
+        for op in operations:
+            if isinstance(op, WriteChunk):
+                total += self.codec.version_size(
+                    len(op.data) + 64, self.codec.system_cipher
+                )
+            elif isinstance(op, (WritePartition, CopyPartition)):
+                total += 2048
+            else:
+                total += 256
+        total += 4096  # dealloc record, commit chunk, jump slack
+        return total
+
+    def _ensure_capacity(self, needed: int) -> None:
+        def capacity() -> int:
+            per_segment = self.config.segment_size - self._next_segment_size
+            return (
+                (per_segment - self.segman.tail_offset)
+                + self.segman.free_segment_count() * per_segment
+            )
+
+        if capacity() >= needed and (
+            self.segman.free_segment_count() >= self.config.clean_low_water
+        ):
+            return
+        if not self._in_maintenance:
+            from repro.chunkstore.cleaner import Cleaner
+
+            cleaner = Cleaner(self)
+            checkpointed = False
+            while capacity() < max(
+                needed, self.config.clean_low_water * self.config.segment_size
+            ):
+                if cleaner.clean_one() is None:
+                    if not checkpointed and len(self.segman.residual_segments) > 1:
+                        self._write_checkpoint()  # bound the residual log
+                        checkpointed = True
+                        continue
+                    break
+        if capacity() < needed:
+            raise StorageFullError(
+                f"need {needed} bytes but only {capacity()} available after cleaning"
+            )
+
+    def _commit_locked(self, operations: Sequence[object]) -> None:
+        injector = self.platform.injector
+        injector.point("commit.begin")
+        if self.config.validation_mode == "counter":
+            self.validator.begin_commit()
+        dealloc_chunks: List[ChunkId] = []
+        dealloc_partitions: List[int] = []
+
+        # Partition creations/copies first, so chunk writes into brand-new
+        # partitions within the same commit find their leader.
+        ordered = sorted(
+            operations,
+            key=lambda op: 0
+            if isinstance(op, (WritePartition, CopyPartition))
+            else (2 if isinstance(op, (DeallocateChunk, DeallocatePartition)) else 1),
+        )
+        for op in ordered:
+            if isinstance(op, WritePartition):
+                key = op.key if op.key is not None else generate_partition_key(
+                    op.cipher_name
+                )
+                payload = LeaderPayload(
+                    cipher_name=op.cipher_name,
+                    hash_name=op.hash_name,
+                    key=key,
+                    name=op.name,
+                )
+                if self.partition_exists(op.partition):
+                    # reset semantics: old contents become obsolete; copy
+                    # relationships survive (copies keep their own state)
+                    old_state = self._state(op.partition)
+                    for location, length in self._iter_partition_locations(
+                        op.partition
+                    ):
+                        self.segman.sub_live(location, length)
+                    payload.copies = list(old_state.payload.copies)
+                    payload.copy_of = old_state.payload.copy_of
+                    self.cache.drop_partition(op.partition)
+                self._append_leader(op.partition, payload)
+            elif isinstance(op, CopyPartition):
+                source = self._state(op.source)
+                payload = source.payload.copy_for_snapshot()
+                payload.copy_of = op.source
+                source.payload.copies.append(op.partition)
+                self._append_leader(op.partition, payload)
+                self._append_leader(op.source, source.payload)
+            elif isinstance(op, WriteChunk):
+                cid = data_id(op.partition, op.rank)
+                state = self._state(op.partition)
+                with profiled("encryption"):
+                    version, digest = self.codec.build_named(
+                        cid, op.data, state.cipher, state.hash
+                    )
+                location = self._append_version(version)
+                self._apply_chunk_write(
+                    cid,
+                    ChunkDescriptor(
+                        ChunkStatus.WRITTEN, location, len(version), digest
+                    ),
+                )
+                injector.point("commit.write")
+            elif isinstance(op, DeallocateChunk):
+                state = self._state(op.partition)
+                if op.rank in state.pending_ranks and not state.is_committed_written(
+                    op.rank
+                ):
+                    state.cancel_pending(op.rank)  # never persisted: no record
+                else:
+                    dealloc_chunks.append(data_id(op.partition, op.rank))
+            elif isinstance(op, DeallocatePartition):
+                dealloc_partitions.extend(self._collect_copy_family(op.partition))
+
+        if dealloc_chunks or dealloc_partitions:
+            record = DeallocateRecord(dealloc_chunks, sorted(set(dealloc_partitions)))
+            version = self.codec.build_unnamed(
+                VersionKind.DEALLOCATE, record.encode()
+            )
+            self._append_version(version)
+            for cid in dealloc_chunks:
+                self._apply_chunk_dealloc(cid)
+            if dealloc_partitions:
+                self._apply_partition_dealloc(sorted(set(dealloc_partitions)))
+
+        self._finalize_commit()
+
+    def _append_leader(self, pid: int, payload: LeaderPayload) -> None:
+        """Write a partition leader as a data chunk of the system partition."""
+        cid = data_id(SYSTEM_PARTITION, partition_rank(pid))
+        system = self.partitions[SYSTEM_PARTITION]
+        with profiled("encryption"):
+            version, digest = self.codec.build_named(
+                cid, payload.encode(), system.cipher, system.hash
+            )
+        location = self._append_version(version)
+        descriptor = ChunkDescriptor(ChunkStatus.WRITTEN, location, len(version), digest)
+        self._apply_partition_leader(pid, payload, descriptor)
+
+    def _finalize_commit(self) -> None:
+        """Flush and update the tamper-resistant store (§4.8.2)."""
+        injector = self.platform.injector
+        if self.config.validation_mode == "counter":
+            record = self.validator.build_commit_record()
+            version = self.codec.build_unnamed(VersionKind.COMMIT, record.encode())
+            self._append_version(version, in_commit_set=False)
+            injector.point("commit.before_flush")
+            if self.config.flush_every_commit:
+                self._flush_untrusted()
+            injector.point("commit.after_flush")
+            self.validator.committed()
+            if self.validator.needs_tr_update():
+                target = self.validator.tr_update_target()
+                if target < self.validator.next_count - 1:
+                    # Δtu forbids the counter from leading the durable log;
+                    # flush so the counter can catch up fully.
+                    self._flush_untrusted()
+                    target = self.validator.tr_update_target()
+                with profiled("tamper-resistant store"):
+                    self.validator.advance_tr(target)
+                injector.point("commit.after_tr")
+        else:
+            injector.point("commit.before_flush")
+            self._flush_untrusted()
+            injector.point("commit.after_flush")
+            with profiled("tamper-resistant store"):
+                self.validator.commit_point(
+                    self.segman.tail_location, self._leader_location
+                )
+            injector.point("commit.after_tr")
+
+    # ------------------------------------------------------------------
+    # checkpoint (§4.7)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Write buffered chunk-map updates and a fresh leader to the log."""
+        with self._lock, profiled("chunk store"):
+            self._check_open()
+            try:
+                self._write_checkpoint()
+            except BaseException:
+                self._failed = True  # half-written checkpoint: reopen to recover
+                raise
+
+    def _write_checkpoint(self, initial: bool = False) -> None:
+        injector = self.platform.injector
+        injector.point("checkpoint.begin")
+        if self.config.validation_mode == "counter":
+            self.validator.begin_commit()
+        appended_any = False
+
+        if not initial:
+            # Phase 1: persist map chunks for every partition with dirty
+            # descriptors, then rewrite dirty leaders (user partitions are
+            # data chunks of the system partition, so they come before the
+            # system partition's own map).
+            user_pids = [
+                pid for pid in self.partitions if pid != SYSTEM_PARTITION
+            ]
+            for pid in sorted(user_pids):
+                appended_any |= self._checkpoint_partition_maps(pid)
+            for pid in sorted(user_pids):
+                state = self.partitions[pid]
+                if state.leader_dirty:
+                    self._append_leader(pid, state.payload)
+                    state.leader_dirty = False
+                    appended_any = True
+            appended_any |= self._checkpoint_partition_maps(SYSTEM_PARTITION)
+
+            if self.config.validation_mode == "counter" and appended_any:
+                record = self.validator.build_commit_record()
+                version = self.codec.build_unnamed(
+                    VersionKind.COMMIT, record.encode()
+                )
+                self._append_version(version, in_commit_set=False)
+                self.validator.committed()
+
+        # Phase 2: start a fresh segment for the residual log, write the
+        # system leader there (the head of the new residual log), and make
+        # the checkpoint durable.
+        new_segment = self.segman.claim_free_segment()
+        if not initial:
+            jump = self.codec.build_unnamed(
+                VersionKind.NEXT_SEGMENT, NextSegmentRecord(new_segment).encode()
+            )
+            with profiled("untrusted store write"):
+                self.platform.untrusted.write(self.segman.tail_location, jump)
+            self._note(jump, in_commit_set=False)
+            self.segman.advance(len(jump))
+        self.segman.begin_residual(new_segment)
+
+        if self.config.validation_mode == "direct":
+            self.validator.reset_chain()
+        else:
+            self.validator.begin_commit()
+
+        system = self.partitions[SYSTEM_PARTITION]
+        extras = system.payload.system
+        if extras is None:
+            extras = SystemExtras()
+            system.payload.system = extras
+        if self.config.validation_mode == "counter":
+            extras.checkpoint_count = self.validator.next_count
+        extras.segments = self.segman.to_table()
+
+        leader_cid = leader_id(SYSTEM_PARTITION)
+        with profiled("encryption"):
+            version, _digest = self.codec.build_named(
+                leader_cid, system.payload.encode(), system.cipher, system.hash
+            )
+        self._leader_location = self._append_version(version)
+        system.leader_dirty = False
+
+        if self.config.validation_mode == "counter":
+            record = self.validator.build_commit_record()
+            commit_version = self.codec.build_unnamed(
+                VersionKind.COMMIT, record.encode()
+            )
+            self._append_version(commit_version, in_commit_set=False)
+            self.validator.committed()
+
+        injector.point("checkpoint.before_flush")
+        self._flush_untrusted()
+        injector.point("checkpoint.after_flush")
+        with profiled("tamper-resistant store"):
+            if self.config.validation_mode == "direct":
+                self.validator.commit_point(
+                    self.segman.tail_location, self._leader_location
+                )
+            else:
+                self.validator.advance_tr(self.validator.next_count - 1)
+        injector.point("checkpoint.after_tr")
+        self._write_superblock()
+        injector.point("checkpoint.end")
+        self.cache.clean_all_dirty()
+        logger.info(
+            "checkpoint complete: leader at %d, residual restarts in segment %d",
+            self._leader_location,
+            self.segman.tail_segment,
+        )
+
+    def _checkpoint_partition_maps(self, pid: int) -> bool:
+        """Write every map chunk of ``pid`` containing dirty descriptors
+        (and their ancestors up to the root); returns True if any were
+        written.  Updates the partition payload's root and height."""
+        state = self.partitions.get(pid)
+        if state is None:
+            return False
+        fanout = self.config.fanout
+        need = [cid for cid, _ in self.cache.dirty_items() if cid.partition == pid]
+        if not need:
+            return False
+        payload = state.payload
+        old_height = payload.tree_height
+        new_height = max(old_height, required_height(fanout, payload.next_rank), 1)
+        if new_height > old_height and old_height >= 1:
+            # the old root becomes an ordinary map chunk: seed its
+            # descriptor so the new levels above it get built
+            old_root_id = ChunkId(pid, old_height, 0)
+            self.cache.put_dirty(old_root_id, payload.root)
+            need.append(old_root_id)
+        appended = False
+        for height in range(1, new_height + 1):
+            parents = sorted(
+                {cid.parent(fanout) for cid in need if cid.height == height - 1},
+                key=lambda c: c.rank,
+            )
+            for map_id in parents:
+                appended |= self._rewrite_map_chunk(map_id, state)
+                need.append(map_id)
+        root = self.cache.get(ChunkId(pid, new_height, 0))
+        if root is None:
+            raise ChunkStoreError(f"checkpoint failed to produce a root for {pid}")
+        payload.root = root
+        payload.tree_height = new_height
+        state.leader_dirty = True
+        return appended
+
+    def _rewrite_map_chunk(self, map_id: ChunkId, state: PartitionState) -> bool:
+        fanout = self.config.fanout
+        old_desc = None
+        if map_id.height <= state.payload.tree_height:
+            try:
+                old_desc = self._get_descriptor(map_id)
+            except TamperDetectedError:
+                raise
+        if old_desc is not None and old_desc.is_written():
+            body = self._read_validated(map_id, old_desc, state)
+            slots = decode_descriptor_vector(body)
+        else:
+            slots = [ChunkDescriptor() for _ in range(fanout)]
+        for slot in range(fanout):
+            child = map_id.child(fanout, slot)
+            cached = self.cache.get(child)
+            if cached is not None:
+                slots[slot] = cached
+        body = encode_descriptor_vector(slots)
+        with profiled("encryption"):
+            version, digest = self.codec.build_named(
+                map_id, body, state.cipher, state.hash
+            )
+        location = self._append_version(version)
+        descriptor = ChunkDescriptor(ChunkStatus.WRITTEN, location, len(version), digest)
+        if old_desc is not None and old_desc.is_written():
+            self.segman.sub_live(old_desc.location, old_desc.length)
+        self.segman.add_live(location, len(version))
+        self.cache.put_dirty(map_id, descriptor)
+        return True
+
+    # ------------------------------------------------------------------
+    # diff (§5.3)
+    # ------------------------------------------------------------------
+
+    def diff(self, old_pid: int, new_pid: int) -> Dict[int, str]:
+        """Positions whose state differs between two partitions.
+
+        Returns ``{rank: DiffChange.*}``.  Commonly called on two
+        snapshots of the same partition, where the shared subtree pruning
+        makes the traversal proportional to the *changed* chunks."""
+        with self._lock, profiled("chunk store"):
+            if self.cache.dirty_count() > 0 or any(
+                s.leader_dirty for s in self.partitions.values()
+            ):
+                # the traversal compares *persistent* map descriptors, so
+                # buffered updates must reach the map first
+                self._write_checkpoint()
+            old_state = self._state(old_pid)
+            new_state = self._state(new_pid)
+            changes: Dict[int, str] = {}
+            if old_state.payload.tree_height == new_state.payload.tree_height:
+                height = old_state.payload.tree_height
+                if height == 0:
+                    return changes
+                self._diff_recursive(
+                    old_state, new_state, height, 0, changes
+                )
+            else:
+                max_rank = max(
+                    old_state.payload.next_rank, new_state.payload.next_rank
+                )
+                for rank in range(max_rank):
+                    self._diff_leaf(old_state, new_state, rank, changes)
+            return changes
+
+    def _diff_recursive(
+        self,
+        old_state: PartitionState,
+        new_state: PartitionState,
+        height: int,
+        rank: int,
+        changes: Dict[int, str],
+    ) -> None:
+        old_desc = self._get_descriptor(ChunkId(old_state.pid, height, rank))
+        new_desc = self._get_descriptor(ChunkId(new_state.pid, height, rank))
+        if old_desc.same_version(new_desc):
+            return
+        if height == 0:
+            self._classify_leaf(old_desc, new_desc, rank, changes)
+            return
+        for slot in range(self.config.fanout):
+            self._diff_recursive(
+                old_state, new_state, height - 1, rank * self.config.fanout + slot,
+                changes,
+            )
+
+    def _diff_leaf(
+        self,
+        old_state: PartitionState,
+        new_state: PartitionState,
+        rank: int,
+        changes: Dict[int, str],
+    ) -> None:
+        old_desc = self._get_descriptor(data_id(old_state.pid, rank))
+        new_desc = self._get_descriptor(data_id(new_state.pid, rank))
+        if not old_desc.same_version(new_desc):
+            self._classify_leaf(old_desc, new_desc, rank, changes)
+
+    @staticmethod
+    def _classify_leaf(
+        old_desc: ChunkDescriptor,
+        new_desc: ChunkDescriptor,
+        rank: int,
+        changes: Dict[int, str],
+    ) -> None:
+        if old_desc.is_written() and new_desc.is_written():
+            changes[rank] = DiffChange.CHANGED
+        elif new_desc.is_written():
+            changes[rank] = DiffChange.ADDED
+        elif old_desc.is_written():
+            changes[rank] = DiffChange.REMOVED
+        # neither written (free vs unallocated): no observable difference
+
+    # ------------------------------------------------------------------
+    # cleaning (§4.9.5)
+    # ------------------------------------------------------------------
+
+    def clean(self, max_segments: int = 1) -> int:
+        """Clean up to ``max_segments`` low-utilization segments; returns
+        the number actually cleaned."""
+        from repro.chunkstore.cleaner import Cleaner
+
+        with self._lock:
+            self._check_open()
+            cleaner = Cleaner(self)
+            cleaned = 0
+            for _ in range(max_segments):
+                if cleaner.clean_one() is None:
+                    if cleaned == 0 and len(self.segman.residual_segments) > 1:
+                        # everything cleanable is pinned in the residual
+                        # log; a checkpoint bounds it (§4.9.5)
+                        self._write_checkpoint()
+                        if cleaner.clean_one() is None:
+                            break
+                        cleaned += 1
+                        continue
+                    break
+                cleaned += 1
+            return cleaned
+
+    # ------------------------------------------------------------------
+    # introspection / stats
+    # ------------------------------------------------------------------
+
+    def scrub(self, raise_on_first: bool = True) -> Dict[str, object]:
+        """Proactively validate the *entire* database (an fsck for trust).
+
+        Walks every partition's position map and reads every current map
+        and data chunk through the normal validated read path.  With
+        ``raise_on_first`` (default), the first corruption raises
+        :class:`TamperDetectedError`; otherwise corrupt chunk ids are
+        collected and reported.
+
+        Returns ``{"chunks_validated": n, "partitions": m, "corrupt": [...]}``.
+        """
+        with self._lock, profiled("chunk store"):
+            self._check_open()
+            validated = 0
+            corrupt: List[str] = []
+            pids = [SYSTEM_PARTITION] + self.partition_ids()
+            for pid in pids:
+                state = self._state(pid)
+                for rank in range(state.payload.next_rank):
+                    if not state.is_committed_written(rank):
+                        continue
+                    cid = data_id(pid, rank)
+                    try:
+                        self._read_chunk_body(cid)
+                        validated += 1
+                    except TamperDetectedError:
+                        if raise_on_first:
+                            raise
+                        corrupt.append(str(cid))
+                # map chunks validate implicitly on the way down, but walk
+                # them explicitly so unreferenced-yet-current levels count
+                height = state.payload.tree_height
+                for level in range(1, height + 1):
+                    span = (state.payload.next_rank + self.config.fanout**level - 1) // (
+                        self.config.fanout**level
+                    )
+                    for rank in range(span):
+                        cid = ChunkId(pid, level, rank)
+                        descriptor = self._get_descriptor(cid)
+                        if not descriptor.is_written():
+                            continue
+                        try:
+                            self._read_validated(cid, descriptor, state)
+                            validated += 1
+                        except TamperDetectedError:
+                            if raise_on_first:
+                                raise
+                            corrupt.append(str(cid))
+            logger.info(
+                "scrub: %d chunk(s) validated across %d partition(s), "
+                "%d corrupt",
+                validated,
+                len(pids),
+                len(corrupt),
+            )
+            return {
+                "chunks_validated": validated,
+                "partitions": len(pids),
+                "corrupt": corrupt,
+            }
+
+    def stored_bytes(self) -> int:
+        """Bytes the log currently occupies (§9.3 space accounting)."""
+        return self.segman.stored_bytes()
+
+    def live_bytes(self) -> int:
+        return self.segman.live_total()
+
+    def data_ranks(self, pid: int) -> List[int]:
+        """All committed-written data ranks of a partition."""
+        with self._lock:
+            state = self._state(pid)
+            return [
+                rank
+                for rank in range(state.payload.next_rank)
+                if state.is_committed_written(rank)
+            ]

@@ -1,0 +1,20 @@
+"""Collection store (§8): collections of objects with functional indexes."""
+
+from repro.collection.index import (
+    DEFAULT_KEY_FUNCTIONS,
+    Index,
+    KeyFunctionRegistry,
+    field_key,
+    register_key_function,
+)
+from repro.collection.store import Collection, CollectionStore
+
+__all__ = [
+    "CollectionStore",
+    "Collection",
+    "Index",
+    "KeyFunctionRegistry",
+    "DEFAULT_KEY_FUNCTIONS",
+    "register_key_function",
+    "field_key",
+]

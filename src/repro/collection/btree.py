@@ -1,0 +1,245 @@
+"""A persistent B-tree whose nodes are objects (§8).
+
+Sorted indexes "are possible because the objects are decrypted" below the
+index layer (§1.2, §8): the tree sees plaintext keys, so range queries
+work — exactly what a layered-crypto design cannot offer.
+
+Every node is an object in the object store; mutations go through the
+enclosing transaction, so tree updates commit atomically with the data
+they index, and the chunk store's no-overwrite log gives historical
+snapshots structural sharing for free.
+
+Node representation (plain picklable dicts):
+
+* leaf:     ``{"leaf": True,  "keys": [k...], "vals": [[ref...] ...]}``
+* interior: ``{"leaf": False, "keys": [k...], "children": [ref...]}``
+  with ``len(children) == len(keys) + 1``.
+
+Values are lists of :class:`ObjectRef` (an index key may map to several
+objects).  Deletion is *lazy*: nodes may become under-full (even empty);
+only an empty root collapses.  This trades worst-case balance on shrink
+for a much simpler algorithm — standard practice in embedded stores.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import IndexError_
+from repro.objectstore.pickling import ObjectRef
+from repro.objectstore.store import Transaction
+
+#: maximum keys per node (2×16; splits at overflow)
+ORDER = 32
+
+
+def _new_leaf() -> dict:
+    return {"leaf": True, "keys": [], "vals": []}
+
+
+def create(tx: Transaction, partition: int) -> ObjectRef:
+    """Create an empty tree; returns the root reference."""
+    return tx.create(partition, _new_leaf())
+
+
+def insert(
+    tx: Transaction, partition: int, root: ObjectRef, key: Any, ref: ObjectRef
+) -> ObjectRef:
+    """Insert ``(key, ref)``; returns the (possibly new) root reference."""
+    split = _insert(tx, partition, root, key, ref)
+    if split is None:
+        return root
+    sep_key, right_ref = split
+    new_root = {
+        "leaf": False,
+        "keys": [sep_key],
+        "children": [root, right_ref],
+    }
+    return tx.create(partition, new_root)
+
+
+def _insert(
+    tx: Transaction, partition: int, node_ref: ObjectRef, key: Any, ref: ObjectRef
+) -> Optional[Tuple[Any, ObjectRef]]:
+    node = tx.get(node_ref)
+    node = {
+        "leaf": node["leaf"],
+        "keys": list(node["keys"]),
+        **(
+            {"vals": [list(v) for v in node["vals"]]}
+            if node["leaf"]
+            else {"children": list(node["children"])}
+        ),
+    }
+    if node["leaf"]:
+        index = bisect.bisect_left(node["keys"], key)
+        if index < len(node["keys"]) and node["keys"][index] == key:
+            if ref not in node["vals"][index]:
+                node["vals"][index].append(ref)
+        else:
+            node["keys"].insert(index, key)
+            node["vals"].insert(index, [ref])
+        if len(node["keys"]) <= ORDER:
+            tx.update(node_ref, node)
+            return None
+        return _split_leaf(tx, partition, node_ref, node)
+    index = bisect.bisect_right(node["keys"], key)
+    split = _insert(tx, partition, node["children"][index], key, ref)
+    if split is None:
+        return None
+    sep_key, right_ref = split
+    node["keys"].insert(index, sep_key)
+    node["children"].insert(index + 1, right_ref)
+    if len(node["keys"]) <= ORDER:
+        tx.update(node_ref, node)
+        return None
+    return _split_interior(tx, partition, node_ref, node)
+
+
+def _split_leaf(
+    tx: Transaction, partition: int, node_ref: ObjectRef, node: dict
+) -> Tuple[Any, ObjectRef]:
+    mid = len(node["keys"]) // 2
+    right = {
+        "leaf": True,
+        "keys": node["keys"][mid:],
+        "vals": node["vals"][mid:],
+    }
+    left = {
+        "leaf": True,
+        "keys": node["keys"][:mid],
+        "vals": node["vals"][:mid],
+    }
+    right_ref = tx.create(partition, right)
+    tx.update(node_ref, left)
+    return right["keys"][0], right_ref
+
+
+def _split_interior(
+    tx: Transaction, partition: int, node_ref: ObjectRef, node: dict
+) -> Tuple[Any, ObjectRef]:
+    mid = len(node["keys"]) // 2
+    sep_key = node["keys"][mid]
+    right = {
+        "leaf": False,
+        "keys": node["keys"][mid + 1 :],
+        "children": node["children"][mid + 1 :],
+    }
+    left = {
+        "leaf": False,
+        "keys": node["keys"][:mid],
+        "children": node["children"][: mid + 1],
+    }
+    right_ref = tx.create(partition, right)
+    tx.update(node_ref, left)
+    return sep_key, right_ref
+
+
+def remove(
+    tx: Transaction, partition: int, root: ObjectRef, key: Any, ref: ObjectRef
+) -> ObjectRef:
+    """Remove ``(key, ref)``; missing entries are an error (index
+    corruption would otherwise pass silently)."""
+    if not _remove(tx, root, key, ref):
+        raise IndexError_(f"index entry ({key!r}, {ref}) not found")
+    root_node = tx.get(root)
+    # collapse a root that has become a single-child interior node
+    while not root_node["leaf"] and len(root_node["keys"]) == 0:
+        only_child = root_node["children"][0]
+        child_node = tx.get(only_child)
+        tx.update(root, dict(child_node))
+        tx.delete(only_child)
+        root_node = tx.get(root)
+    return root
+
+
+def _remove(tx: Transaction, node_ref: ObjectRef, key: Any, ref: ObjectRef) -> bool:
+    node = tx.get(node_ref)
+    if node["leaf"]:
+        index = bisect.bisect_left(node["keys"], key)
+        if index >= len(node["keys"]) or node["keys"][index] != key:
+            return False
+        vals = list(node["vals"][index])
+        if ref not in vals:
+            return False
+        vals.remove(ref)
+        keys = list(node["keys"])
+        all_vals = [list(v) for v in node["vals"]]
+        if vals:
+            all_vals[index] = vals
+        else:
+            del keys[index]
+            del all_vals[index]
+        tx.update(node_ref, {"leaf": True, "keys": keys, "vals": all_vals})
+        return True
+    index = bisect.bisect_right(node["keys"], key)
+    # equal keys may straddle the separator; try left child then right
+    if _remove(tx, node["children"][index], key, ref):
+        return True
+    if index > 0 and node["keys"][index - 1] == key:
+        return _remove(tx, node["children"][index - 1], key, ref)
+    return False
+
+
+def iterate(
+    tx: Transaction,
+    root: ObjectRef,
+    low: Any = None,
+    high: Any = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> Iterator[Tuple[Any, ObjectRef]]:
+    """In-order iteration over ``(key, ref)`` pairs within the bounds."""
+
+    def in_range(key: Any) -> bool:
+        if low is not None:
+            if key < low or (not low_inclusive and key == low):
+                return False
+        if high is not None:
+            if key > high or (not high_inclusive and key == high):
+                return False
+        return True
+
+    def walk(node_ref: ObjectRef) -> Iterator[Tuple[Any, ObjectRef]]:
+        node = tx.get(node_ref)
+        if node["leaf"]:
+            for key, refs in zip(node["keys"], node["vals"]):
+                if in_range(key):
+                    for ref in refs:
+                        yield key, ref
+            return
+        keys = node["keys"]
+        children = node["children"]
+        for index, child in enumerate(children):
+            # prune subtrees entirely outside the bounds
+            if low is not None and index < len(keys) and keys[index] < low:
+                continue
+            if high is not None and index > 0 and keys[index - 1] > high:
+                break
+            yield from walk(child)
+
+    yield from walk(root)
+
+
+def lookup(tx: Transaction, root: ObjectRef, key: Any) -> List[ObjectRef]:
+    """Exact-match lookup."""
+    node = tx.get(root)
+    while not node["leaf"]:
+        index = bisect.bisect_right(node["keys"], key)
+        node = tx.get(node["children"][index])
+    index = bisect.bisect_left(node["keys"], key)
+    if index < len(node["keys"]) and node["keys"][index] == key:
+        return list(node["vals"][index])
+    # equal keys can also sit in the next leaf when they straddled a split;
+    # our insert keeps all refs for one key in a single slot, so no more work
+    return []
+
+
+def destroy(tx: Transaction, root: ObjectRef) -> None:
+    """Delete every node of the tree."""
+    node = tx.get(root)
+    if not node["leaf"]:
+        for child in node["children"]:
+            destroy(tx, child)
+    tx.delete(root)

@@ -1,0 +1,44 @@
+"""Cryptographic substrate for TDB.
+
+The paper (§2.2) lets each partition choose its own cryptographic
+parameters: a secret key, a cipher, and a collision-resistant hash function.
+This package provides those building blocks:
+
+* block ciphers implemented from scratch: :mod:`repro.crypto.des` (DES),
+  3DES (EDE), and :mod:`repro.crypto.xtea` (XTEA), all wrapped in CBC mode
+  with PKCS#7 padding and a random IV;
+* a fast keystream cipher (``ctr-sha256``) built on SHA-256 in counter mode,
+  standing in for the paper's remark that "there are other, more secure,
+  algorithms that run faster than DES";
+* hash functions (SHA-1, SHA-256) and a null hasher for partitions that do
+  not need validation;
+* a null cipher for partitions that do not need secrecy;
+* a symmetric-key MAC (HMAC, written out explicitly) used to sign commit
+  chunks and backup signatures;
+* a registry that maps the names stored in partition leaders back to
+  factories.
+"""
+
+from repro.crypto.cipher import Cipher, NullCipher
+from repro.crypto.hashing import HashFunction, NullHash, Sha1Hash, Sha256Hash
+from repro.crypto.mac import Mac
+from repro.crypto.registry import (
+    CIPHER_NAMES,
+    HASH_NAMES,
+    make_cipher,
+    make_hash,
+)
+
+__all__ = [
+    "Cipher",
+    "NullCipher",
+    "HashFunction",
+    "NullHash",
+    "Sha1Hash",
+    "Sha256Hash",
+    "Mac",
+    "make_cipher",
+    "make_hash",
+    "CIPHER_NAMES",
+    "HASH_NAMES",
+]

@@ -1,0 +1,81 @@
+"""Cipher interfaces.
+
+A :class:`Cipher` instance is *keyed*: it is constructed with a secret key
+and exposes whole-message ``encrypt`` / ``decrypt``.  Block ciphers are
+wrapped in CBC mode with PKCS#7 padding and a random IV prepended to the
+ciphertext (see :mod:`repro.crypto.modes`), so ciphertext length is
+``iv + padded length`` and is deterministic given the plaintext length —
+a property the log format relies on to demarcate chunk versions.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+
+
+class BlockCipher(ABC):
+    """A raw block cipher over fixed-size blocks (ECB primitive)."""
+
+    #: block size in bytes
+    block_size: int = 8
+
+    @abstractmethod
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one block."""
+
+    @abstractmethod
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one block."""
+
+
+class Cipher(ABC):
+    """A keyed whole-message cipher."""
+
+    #: registry name, stored in partition leaders
+    name: str = "abstract"
+
+    @abstractmethod
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt ``plaintext``; the result embeds any IV needed."""
+
+    @abstractmethod
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Invert :meth:`encrypt`.  Raises ``ValueError`` on malformed input."""
+
+    @abstractmethod
+    def ciphertext_size(self, plaintext_size: int) -> int:
+        """Size of the ciphertext for a plaintext of ``plaintext_size`` bytes.
+
+        Must be a function of the plaintext size alone; the log format uses
+        it to lay out chunk versions.
+        """
+
+
+class NullCipher(Cipher):
+    """Identity "cipher" for partitions that need no secrecy (§2.2).
+
+    Tamper detection still applies to such partitions — hashing is
+    orthogonal to encryption.
+    """
+
+    name = "null"
+
+    def __init__(self, key: bytes = b"") -> None:
+        # The key is accepted (and ignored) so the registry can treat all
+        # ciphers uniformly.
+        del key
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        return bytes(plaintext)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        return bytes(ciphertext)
+
+    def ciphertext_size(self, plaintext_size: int) -> int:
+        return plaintext_size
+
+
+def random_iv(size: int) -> bytes:
+    """A fresh random IV.  Centralised so tests can monkeypatch it."""
+    return os.urandom(size)

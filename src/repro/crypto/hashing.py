@@ -1,0 +1,70 @@
+"""Collision-resistant hash functions.
+
+A :class:`HashFunction` is stateless and cheap to share; ``new()`` returns
+a streaming hasher with ``update``/``digest`` (the hashlib protocol), and
+``hash()`` is the one-shot convenience.  The paper's measured "finalization"
+cost (§9.2.1: 5 µs per hash) corresponds to ``digest()``.
+
+``NullHash`` is for partitions that need secrecy but not validation
+(§2.2): its digest is empty, so descriptor comparisons always succeed and
+no tamper-detection is provided for that partition.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+
+
+class HashFunction(ABC):
+    """A named collision-resistant hash function."""
+
+    name: str = "abstract"
+    digest_size: int = 0
+
+    @abstractmethod
+    def new(self):
+        """Return a streaming hasher (``update``/``digest``)."""
+
+    def hash(self, data: bytes) -> bytes:
+        hasher = self.new()
+        hasher.update(data)
+        return hasher.digest()
+
+
+class Sha1Hash(HashFunction):
+    """SHA-1, the paper's hash function (§9.2.1)."""
+
+    name = "sha1"
+    digest_size = 20
+
+    def new(self):
+        return hashlib.sha1()
+
+
+class Sha256Hash(HashFunction):
+    """SHA-256, a modern stronger option."""
+
+    name = "sha256"
+    digest_size = 32
+
+    def new(self):
+        return hashlib.sha256()
+
+
+class _NullHasher:
+    def update(self, data: bytes) -> None:
+        del data
+
+    def digest(self) -> bytes:
+        return b""
+
+
+class NullHash(HashFunction):
+    """No-op hash for partitions that do not need tamper detection."""
+
+    name = "null"
+    digest_size = 0
+
+    def new(self):
+        return _NullHasher()

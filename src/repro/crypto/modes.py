@@ -1,0 +1,116 @@
+"""Cipher modes: CBC with PKCS#7 padding, and a SHA-256 counter stream.
+
+``CbcCipher`` turns any :class:`~repro.crypto.cipher.BlockCipher` into a
+whole-message :class:`~repro.crypto.cipher.Cipher`.  A random IV is
+generated per message and prepended to the ciphertext.
+
+``CtrStreamCipher`` is a keystream cipher built from SHA-256 in counter
+mode: keystream block *i* = SHA-256(key ‖ nonce ‖ i).  Because hashlib runs
+at C speed, this is the fast cipher option in a pure-Python build — the
+analogue of the paper's "faster than DES" remark.  An 8-byte random nonce
+is prepended to the ciphertext; the plaintext length is preserved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.cipher import BlockCipher, Cipher, random_iv
+
+
+def pkcs7_pad(data: bytes, block_size: int) -> bytes:
+    """Pad ``data`` to a multiple of ``block_size`` (always adds ≥1 byte)."""
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int) -> bytes:
+    """Strip PKCS#7 padding; raises ``ValueError`` on malformed padding."""
+    if not data or len(data) % block_size:
+        raise ValueError("invalid padded length")
+    pad_len = data[-1]
+    if pad_len < 1 or pad_len > block_size:
+        raise ValueError("invalid padding byte")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise ValueError("corrupt padding")
+    return data[:-pad_len]
+
+
+class CbcCipher(Cipher):
+    """CBC mode over a block cipher, PKCS#7 padded, random IV prepended."""
+
+    def __init__(self, block_cipher: BlockCipher, name: str) -> None:
+        self._bc = block_cipher
+        self.name = name
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        bs = self._bc.block_size
+        iv = random_iv(bs)
+        padded = pkcs7_pad(plaintext, bs)
+        out = bytearray(iv)
+        prev = iv
+        encrypt_block = self._bc.encrypt_block
+        for i in range(0, len(padded), bs):
+            block = bytes(a ^ b for a, b in zip(padded[i : i + bs], prev))
+            prev = encrypt_block(block)
+            out += prev
+        return bytes(out)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        bs = self._bc.block_size
+        if len(ciphertext) < 2 * bs or len(ciphertext) % bs:
+            raise ValueError("ciphertext length invalid for CBC")
+        prev = ciphertext[:bs]
+        out = bytearray()
+        decrypt_block = self._bc.decrypt_block
+        for i in range(bs, len(ciphertext), bs):
+            block = ciphertext[i : i + bs]
+            plain = decrypt_block(block)
+            out += bytes(a ^ b for a, b in zip(plain, prev))
+            prev = block
+        return pkcs7_unpad(bytes(out), bs)
+
+    def ciphertext_size(self, plaintext_size: int) -> int:
+        bs = self._bc.block_size
+        padded = plaintext_size + (bs - plaintext_size % bs)
+        return bs + padded  # IV + padded payload
+
+
+class CtrStreamCipher(Cipher):
+    """SHA-256 counter-mode keystream cipher (length-preserving + nonce)."""
+
+    name = "ctr-sha256"
+
+    _NONCE_SIZE = 8
+    _BLOCK = 32  # sha256 digest size
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("ctr-sha256 requires a non-empty key")
+        self._key = bytes(key)
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        out = bytearray()
+        counter = 0
+        prefix = self._key + nonce
+        while len(out) < length:
+            out += hashlib.sha256(prefix + counter.to_bytes(8, "big")).digest()
+            counter += 1
+        return bytes(out[:length])
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        nonce = random_iv(self._NONCE_SIZE)
+        stream = self._keystream(nonce, len(plaintext))
+        body = bytes(a ^ b for a, b in zip(plaintext, stream))
+        return nonce + body
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) < self._NONCE_SIZE:
+            raise ValueError("ciphertext shorter than nonce")
+        nonce = ciphertext[: self._NONCE_SIZE]
+        body = ciphertext[self._NONCE_SIZE :]
+        stream = self._keystream(nonce, len(body))
+        return bytes(a ^ b for a, b in zip(body, stream))
+
+    def ciphertext_size(self, plaintext_size: int) -> int:
+        return self._NONCE_SIZE + plaintext_size

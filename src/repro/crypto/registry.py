@@ -1,0 +1,60 @@
+"""Name → factory registry for ciphers and hash functions.
+
+Partition leaders store the *names* of their cipher and hash function
+(§5.2); this registry turns those names back into keyed instances when a
+partition is opened.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.crypto.cipher import Cipher, NullCipher
+from repro.crypto.des import Des, TripleDes
+from repro.crypto.hashing import HashFunction, NullHash, Sha1Hash, Sha256Hash
+from repro.crypto.modes import CbcCipher, CtrStreamCipher
+from repro.crypto.xtea import Xtea
+
+_CIPHERS: Dict[str, Callable[[bytes], Cipher]] = {
+    "null": NullCipher,
+    "des-cbc": lambda key: CbcCipher(Des(key), "des-cbc"),
+    "3des-cbc": lambda key: CbcCipher(TripleDes(key), "3des-cbc"),
+    "xtea-cbc": lambda key: CbcCipher(Xtea(key), "xtea-cbc"),
+    "ctr-sha256": CtrStreamCipher,
+}
+
+_HASHES: Dict[str, Callable[[], HashFunction]] = {
+    "null": NullHash,
+    "sha1": Sha1Hash,
+    "sha256": Sha256Hash,
+}
+
+CIPHER_NAMES = tuple(sorted(_CIPHERS))
+HASH_NAMES = tuple(sorted(_HASHES))
+
+#: expected key sizes per cipher name (for validation and key generation)
+KEY_SIZES: Dict[str, int] = {
+    "null": 0,
+    "des-cbc": 8,
+    "3des-cbc": 24,
+    "xtea-cbc": 16,
+    "ctr-sha256": 16,
+}
+
+
+def make_cipher(name: str, key: bytes) -> Cipher:
+    """Instantiate the cipher registered under ``name`` with ``key``."""
+    try:
+        factory = _CIPHERS[name]
+    except KeyError:
+        raise ValueError(f"unknown cipher {name!r}; known: {CIPHER_NAMES}") from None
+    return factory(key)
+
+
+def make_hash(name: str) -> HashFunction:
+    """Instantiate the hash function registered under ``name``."""
+    try:
+        factory = _HASHES[name]
+    except KeyError:
+        raise ValueError(f"unknown hash {name!r}; known: {HASH_NAMES}") from None
+    return factory()

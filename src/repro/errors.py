@@ -1,0 +1,102 @@
+"""Exception hierarchy for the TDB reproduction.
+
+The one exception that carries the paper's security semantics is
+:class:`TamperDetectedError`: it is raised whenever validation of data read
+from the untrusted store fails, i.e. whenever an untrusted program has
+modified (or replayed) state that a trusted program later reads.
+"""
+
+from __future__ import annotations
+
+
+class TDBError(Exception):
+    """Base class for all errors raised by the TDB reproduction."""
+
+
+class TamperDetectedError(TDBError):
+    """Validation of untrusted data failed.
+
+    Raised on hash mismatches, signature failures, residual-log sequence
+    violations, replay detection, or any other evidence that the untrusted
+    store no longer reflects the state written by the trusted program.
+    """
+
+
+class SecrecyError(TDBError):
+    """An operation would violate the secrecy contract (e.g. reading the
+    secret store from an untrusted context in the simulated platform)."""
+
+
+class ChunkStoreError(TDBError):
+    """Base class for chunk-store usage errors."""
+
+
+class ChunkNotAllocatedError(ChunkStoreError):
+    """A chunk id was used that is not currently allocated."""
+
+
+class ChunkNotWrittenError(ChunkStoreError):
+    """A chunk id was read before it was ever written (committed)."""
+
+
+class PartitionError(ChunkStoreError):
+    """Base class for partition-level usage errors."""
+
+
+class PartitionNotFoundError(PartitionError):
+    """A partition id was used that is not currently written."""
+
+
+class StorageFullError(TDBError):
+    """The untrusted store has no free segments left (even after cleaning)."""
+
+
+class CrashError(TDBError):
+    """Raised by the crash-injection machinery to simulate a fail-stop crash.
+
+    Test harnesses install a crash point, run an operation, catch
+    :class:`CrashError`, then re-open the store to exercise recovery.
+    """
+
+
+class BackupError(TDBError):
+    """Base class for backup-store errors."""
+
+
+class BackupIntegrityError(BackupError, TamperDetectedError):
+    """A backup stream failed signature or checksum validation."""
+
+
+class BackupOrderingError(BackupError):
+    """A restore violated ordering constraints (missing base snapshot,
+    incomplete backup set, or out-of-order incremental restore)."""
+
+
+class ObjectStoreError(TDBError):
+    """Base class for object-store usage errors."""
+
+
+class ObjectNotFoundError(ObjectStoreError):
+    """An object id was used that does not name a stored object."""
+
+
+class TransactionError(ObjectStoreError):
+    """Transaction misuse (commit after abort, use outside scope, ...)."""
+
+
+class DeadlockError(TransactionError):
+    """Lock acquisition timed out; the transaction was chosen as the victim
+    and must abort (the paper breaks deadlocks with timeouts, §7)."""
+
+
+class PicklingError(ObjectStoreError):
+    """An object could not be pickled or unpickled."""
+
+
+class IndexError_(TDBError):
+    """Collection-store index misuse (named with a trailing underscore to
+    avoid shadowing the builtin)."""
+
+
+class XDBError(TDBError):
+    """Base class for errors from the XDB baseline system."""

@@ -1,0 +1,23 @@
+"""Extensions beyond the paper's core (§10 "Potential Extensions").
+
+* :mod:`repro.extensions.paging` — *trusted paging*: encrypted, validated
+  virtual-memory pages stored in the chunk store, for trusted programs
+  whose volatile state outgrows the trusted processing environment.
+* :mod:`repro.extensions.remote` — *untrusted storage on servers*: a
+  round-trip-accounted remote untrusted store plus the batching
+  optimisation the paper suggests.
+* :mod:`repro.extensions.spill` — *steal buffer management*: transactions
+  that evict dirty objects to trusted storage before commit, lifting the
+  no-steal limitation for large transactions.
+"""
+
+from repro.extensions.paging import TrustedPager
+from repro.extensions.remote import NetworkModel, RemoteUntrustedStore
+from repro.extensions.spill import SpillingObjectStore
+
+__all__ = [
+    "TrustedPager",
+    "RemoteUntrustedStore",
+    "NetworkModel",
+    "SpillingObjectStore",
+]

@@ -1,0 +1,92 @@
+"""Untrusted storage on servers (§10).
+
+"TDB may be used to protect a database stored at an untrusted server.
+This application of TDB may benefit from additional optimizations for
+reducing network round-trips to the untrusted server, such as batching
+reads and writes."
+
+:class:`RemoteUntrustedStore` wraps any local
+:class:`~repro.platform.untrusted.UntrustedStore` and accounts *round
+trips*: each ``read``/``write``/``flush`` costs one, while ``read_many``
+ships a batch of extents in a single round trip.  A
+:class:`NetworkModel` turns the counts into modeled time, so benchmarks
+can quantify the §10 batching optimisation without a real network.
+
+Trust-wise nothing changes: the server is exactly as untrusted as a local
+disk, so the same tamper API is exposed (the server operator *is* the
+attacker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.platform.untrusted import UntrustedStore
+
+
+@dataclass
+class NetworkModel:
+    """Latency model for a remote untrusted store."""
+
+    #: one request/response round trip, seconds (LAN ≈ 0.5 ms, WAN ≈ 50 ms)
+    round_trip_latency: float = 0.001
+    #: payload bandwidth, bytes/second
+    bandwidth: float = 10e6
+
+    def time(self, round_trips: int, payload_bytes: int) -> float:
+        return round_trips * self.round_trip_latency + payload_bytes / self.bandwidth
+
+
+class RemoteUntrustedStore(UntrustedStore):
+    """An untrusted store behind a (simulated) network."""
+
+    def __init__(self, backing: UntrustedStore) -> None:
+        super().__init__(backing.size, backing.injector)
+        self._backing = backing
+        self.round_trips = 0
+        self.payload_bytes = 0
+        #: writes queued on the client, shipped at flush in one round trip
+        self._write_queue: List[Tuple[int, bytes]] = []
+
+    # -- raw image ------------------------------------------------------------
+
+    def _image_read(self, offset: int, size: int) -> bytes:
+        return self._backing._image_read(offset, size)
+
+    def _image_write(self, offset: int, data: bytes) -> None:
+        self._backing._image_write(offset, data)
+
+    # -- accounted operations ---------------------------------------------------
+
+    def read(self, offset: int, size: int) -> bytes:
+        self.round_trips += 1
+        self.payload_bytes += size
+        return super().read(offset, size)
+
+    def read_many(self, extents: List[Tuple[int, int]]) -> List[bytes]:
+        """The §10 batching optimisation: one round trip for the batch."""
+        if not extents:
+            return []
+        self.round_trips += 1
+        results = []
+        for offset, size in extents:
+            self.payload_bytes += size
+            self._check_range(offset, size)
+            self.stats.reads += 1
+            self.stats.bytes_read += size
+            results.append(self._image_read(offset, size))
+        return results
+
+    def write(self, offset: int, data: bytes) -> None:
+        # writes are queued client-side; the flush ships them in one batch
+        self.payload_bytes += len(data)
+        super().write(offset, data)
+
+    def flush(self) -> None:
+        self.round_trips += 1  # the batched write + fsync request
+        super().flush()
+
+    def reset_accounting(self) -> None:
+        self.round_trips = 0
+        self.payload_bytes = 0

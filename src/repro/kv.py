@@ -1,0 +1,205 @@
+"""TrustedKV — a five-minute on-ramp to TDB.
+
+Most applications want a dictionary, not a storage architecture.
+:class:`TrustedKV` wraps the full stack (collection store → object store
+→ chunk store) behind a dict-like API with string keys and arbitrary
+picklable values, while keeping every TDB property: secrecy, tamper
+detection, replay resistance, crash atomicity, and sorted-key range
+scans.
+
+    from repro import TrustedPlatform
+    from repro.kv import TrustedKV
+
+    platform = TrustedPlatform.create_in_memory()
+    kv = TrustedKV.create(platform)
+    kv["user:alice"] = {"balance": 100}
+    kv.put_many({"a": 1, "b": 2})          # one atomic commit
+    for key, value in kv.range("user:", "user:\\xff"):
+        ...
+    kv.close()
+    kv = TrustedKV.open(platform)          # recovery + validation
+
+Keys index through a sorted functional index, so ``range`` is a real
+ordered scan (the capability layered-crypto designs lack, §1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chunkstore.config import StoreConfig
+from repro.chunkstore.store import ChunkStore
+from repro.collection.index import KeyFunctionRegistry
+from repro.collection.store import CollectionStore
+from repro.errors import ObjectNotFoundError
+from repro.objectstore.pickling import PicklerRegistry, DEFAULT_REGISTRY
+from repro.objectstore.store import ObjectStore
+from repro.platform.trusted_platform import TrustedPlatform
+
+_PARTITION_NAME = "__trusted_kv__"
+_COLLECTION = "entries"
+_INDEX = "by_key"
+
+
+def _key_of(entry: Any) -> Any:
+    return entry["k"]
+
+
+class TrustedKV:
+    """A trusted, persistent, dict-like store."""
+
+    def __init__(
+        self,
+        chunks: ChunkStore,
+        partition: int,
+        registry: PicklerRegistry = DEFAULT_REGISTRY,
+    ) -> None:
+        self.chunks = chunks
+        self.objects = ObjectStore(chunks, registry=registry)
+        key_functions = KeyFunctionRegistry()
+        key_functions.register("kv_key", _key_of)
+        self.collections = CollectionStore(self.objects, partition, key_functions)
+        self.partition = partition
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        platform: TrustedPlatform,
+        config: Optional[StoreConfig] = None,
+        cipher_name: str = "ctr-sha256",
+        hash_name: str = "sha256",
+        registry: PicklerRegistry = DEFAULT_REGISTRY,
+    ) -> "TrustedKV":
+        """Format a fresh store on ``platform`` and set up the KV layout."""
+        chunks = ChunkStore.format(
+            platform, config or StoreConfig(system_cipher="ctr-sha256")
+        )
+        objects = ObjectStore(chunks, registry=registry)
+        partition = objects.create_partition(
+            cipher_name=cipher_name, hash_name=hash_name, name=_PARTITION_NAME
+        )
+        kv = cls(chunks, partition, registry)
+        with kv.objects.transaction() as tx:
+            coll = kv.collections.create_collection(tx, _COLLECTION)
+            kv.collections.add_index(tx, coll, _INDEX, "kv_key", sorted_index=True)
+        return kv
+
+    @classmethod
+    def open(
+        cls,
+        platform: TrustedPlatform,
+        registry: PicklerRegistry = DEFAULT_REGISTRY,
+    ) -> "TrustedKV":
+        """Reopen (recovery + validation) an existing TrustedKV store."""
+        chunks = ChunkStore.open(platform)
+        partition = chunks.find_partition(_PARTITION_NAME)
+        if partition is None:
+            raise ObjectNotFoundError("no TrustedKV layout in this store")
+        return cls(chunks, partition, registry)
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Shut the underlying chunk store down cleanly."""
+        self.chunks.close(checkpoint=checkpoint)
+
+    # -- dict-like access --------------------------------------------------------
+
+    def _lookup(self, tx, key: str):
+        coll = self.collections.open_collection(tx, _COLLECTION)
+        refs = self.collections.exact(tx, coll, _INDEX, key)
+        return coll, (refs[0] if refs else None)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Validated read of ``key``; ``default`` if absent."""
+        with self.objects.transaction() as tx:
+            _coll, ref = self._lookup(tx, key)
+            if ref is None:
+                return default
+            return tx.get(ref)["v"]
+
+    def __getitem__(self, key: str) -> Any:
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            raise KeyError(key)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert or overwrite ``key`` (one atomic commit)."""
+        with self.objects.transaction() as tx:
+            coll, ref = self._lookup(tx, key)
+            entry = {"k": key, "v": value}
+            if ref is None:
+                self.collections.insert(tx, coll, entry)
+            else:
+                self.collections.update(tx, coll, ref, entry)
+
+    __setitem__ = put
+
+    def put_many(self, items: Dict[str, Any]) -> None:
+        """Apply several puts in one atomic commit."""
+        with self.objects.transaction() as tx:
+            coll = self.collections.open_collection(tx, _COLLECTION)
+            for key, value in items.items():
+                refs = self.collections.exact(tx, coll, _INDEX, key)
+                entry = {"k": key, "v": value}
+                if refs:
+                    self.collections.update(tx, coll, refs[0], entry)
+                else:
+                    self.collections.insert(tx, coll, entry)
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns False if it was absent."""
+        with self.objects.transaction() as tx:
+            coll, ref = self._lookup(tx, key)
+            if ref is None:
+                return False
+            self.collections.remove(tx, coll, ref)
+            return True
+
+    def __delitem__(self, key: str) -> None:
+        if not self.delete(key):
+            raise KeyError(key)
+
+    def __contains__(self, key: str) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __len__(self) -> int:
+        with self.objects.transaction() as tx:
+            coll = self.collections.open_collection(tx, _COLLECTION)
+            return coll.size(tx)
+
+    def keys(self) -> List[str]:
+        """All keys, in sorted order (from the sorted index)."""
+        with self.objects.transaction() as tx:
+            coll = self.collections.open_collection(tx, _COLLECTION)
+            return [key for key, _ref in self.collections.range(tx, coll, _INDEX)]
+
+    def items(self) -> List[Tuple[str, Any]]:
+        """All (key, value) pairs in key order."""
+        with self.objects.transaction() as tx:
+            coll = self.collections.open_collection(tx, _COLLECTION)
+            return [
+                (key, tx.get(ref)["v"])
+                for key, ref in self.collections.range(tx, coll, _INDEX)
+            ]
+
+    def range(
+        self, low: Optional[str] = None, high: Optional[str] = None
+    ) -> List[Tuple[str, Any]]:
+        """Ordered scan over ``low ≤ key ≤ high`` (either bound optional)."""
+        with self.objects.transaction() as tx:
+            coll = self.collections.open_collection(tx, _COLLECTION)
+            return [
+                (key, tx.get(ref)["v"])
+                for key, ref in self.collections.range(tx, coll, _INDEX, low, high)
+            ]
+
+    # -- maintenance -----------------------------------------------------------
+
+    def compact(self) -> int:
+        """Checkpoint and clean the log; returns segments reclaimed."""
+        self.chunks.checkpoint()
+        return self.chunks.clean(max_segments=10_000)

@@ -1,0 +1,132 @@
+"""Two-phase locking with timeout-based deadlock breaking (§7).
+
+"The object store implements two-phase locking on objects and breaks
+deadlocks using timeouts.  Transactions acquire locks in either shared or
+exclusive mode.  We chose not to implement granular or operation-level
+locks because we expect only a few concurrent transactions."
+
+The lock manager keeps one shared/exclusive lock per object reference.
+A transaction that cannot acquire a lock within the timeout raises
+:class:`~repro.errors.DeadlockError` and must abort — crude but sound
+deadlock handling appropriate for low concurrency.
+
+Lock upgrade (S → X) is supported when the requester is the sole shared
+holder; otherwise the upgrade waits like any other exclusive request (and
+two simultaneous upgraders deadlock and time out, as they must).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Set
+
+from repro.errors import DeadlockError
+
+
+@dataclass
+class _LockState:
+    shared: Set[int] = field(default_factory=set)
+    exclusive: int = 0  # transaction id, 0 = none
+    waiters: int = 0
+
+
+class LockManager:
+    """Per-object shared/exclusive locks for transactions."""
+
+    def __init__(self, timeout: float = 2.0) -> None:
+        self.timeout = timeout
+        self._mutex = threading.Lock()
+        self._condition = threading.Condition(self._mutex)
+        self._locks: Dict[Hashable, _LockState] = {}
+        #: transaction id -> refs it holds (for release_all)
+        self._held: Dict[int, Set[Hashable]] = {}
+        self.deadlocks_broken = 0
+
+    def acquire_shared(self, tx_id: int, ref: Hashable) -> None:
+        """Take (or wait for) a shared lock on ``ref``; an exclusive lock
+        already held by ``tx_id`` subsumes it.  Raises
+        :class:`DeadlockError` after the timeout."""
+        with self._condition:
+            deadline = None
+            while True:
+                # re-fetch each iteration: release_all may pop an unheld
+                # state object from the dict while we were waiting, and a
+                # newer acquirer would then be operating on a *fresh*
+                # object — granting ourselves on the stale one would break
+                # mutual exclusion
+                state = self._locks.setdefault(ref, _LockState())
+                if state.exclusive in (0, tx_id):
+                    if state.exclusive == tx_id:
+                        return  # X subsumes S
+                    state.shared.add(tx_id)
+                    self._held.setdefault(tx_id, set()).add(ref)
+                    return
+                if deadline is None:
+                    deadline = self._now() + self.timeout
+                if not self._condition.wait(timeout=self._remaining(deadline)):
+                    self._timeout(tx_id, ref, "shared")
+
+    def acquire_exclusive(self, tx_id: int, ref: Hashable) -> None:
+        """Take (or wait for) an exclusive lock on ``ref``; upgrades a
+        shared lock when ``tx_id`` is the sole holder.  Raises
+        :class:`DeadlockError` after the timeout."""
+        with self._condition:
+            deadline = None
+            while True:
+                state = self._locks.setdefault(ref, _LockState())  # see above
+                others_shared = state.shared - {tx_id}
+                if state.exclusive == tx_id:
+                    return
+                if state.exclusive == 0 and not others_shared:
+                    state.shared.discard(tx_id)  # upgrade consumes the S lock
+                    state.exclusive = tx_id
+                    self._held.setdefault(tx_id, set()).add(ref)
+                    return
+                if deadline is None:
+                    deadline = self._now() + self.timeout
+                if not self._condition.wait(timeout=self._remaining(deadline)):
+                    self._timeout(tx_id, ref, "exclusive")
+
+    def release_all(self, tx_id: int) -> None:
+        """Two-phase locking's shrink phase happens all at once, at commit
+        or abort."""
+        with self._condition:
+            for ref in self._held.pop(tx_id, set()):
+                state = self._locks.get(ref)
+                if state is None:
+                    continue
+                state.shared.discard(tx_id)
+                if state.exclusive == tx_id:
+                    state.exclusive = 0
+                if not state.shared and state.exclusive == 0:
+                    self._locks.pop(ref, None)
+            self._condition.notify_all()
+
+    def holds(self, tx_id: int, ref: Hashable, exclusive: bool = False) -> bool:
+        """Introspection: does ``tx_id`` currently hold a lock on ``ref``?"""
+        with self._mutex:
+            state = self._locks.get(ref)
+            if state is None:
+                return False
+            if exclusive:
+                return state.exclusive == tx_id
+            return state.exclusive == tx_id or tx_id in state.shared
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _now() -> float:
+        import time
+
+        return time.monotonic()
+
+    def _remaining(self, deadline: float) -> float:
+        return max(0.0, deadline - self._now())
+
+    def _timeout(self, tx_id: int, ref: Hashable, mode: str) -> None:
+        self.deadlocks_broken += 1
+        raise DeadlockError(
+            f"transaction {tx_id} timed out acquiring {mode} lock on {ref}; "
+            f"presumed deadlock — aborting"
+        )

@@ -1,0 +1,242 @@
+"""Portable object pickling (§2.2, §7).
+
+"TDB pickles objects using application-provided methods so the stored
+representation is compact and portable."  This module implements a small,
+self-describing binary codec for a useful universe of values:
+
+* Python primitives: ``None``, ``bool``, ``int``, ``float``, ``str``,
+  ``bytes``, ``list``, ``tuple``, ``dict``, ``set``;
+* :class:`ObjectRef` — typed references between stored objects, which is
+  what lets higher layers (collections, indexes) persist graphs;
+* application classes registered with :func:`register_class`, which
+  supply ``to_state`` / ``from_state`` conversions to and from the
+  primitive universe.
+
+Unlike :mod:`pickle`, nothing here executes code on load, the format is
+independent of Python's internals, and unknown tags fail loudly — the
+properties a *trusted* store needs from its serializer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple, Type
+
+from repro.errors import PicklingError
+from repro.util.codec import Decoder, Encoder
+
+_TAG_NONE = 0
+_TAG_FALSE = 1
+_TAG_TRUE = 2
+_TAG_INT = 3
+_TAG_FLOAT = 4
+_TAG_STR = 5
+_TAG_BYTES = 6
+_TAG_LIST = 7
+_TAG_TUPLE = 8
+_TAG_DICT = 9
+_TAG_SET = 10
+_TAG_REF = 11
+
+_FIRST_CLASS_TAG = 32
+
+
+@dataclass(frozen=True, order=True)
+class ObjectRef:
+    """A stable, persistent reference to a stored object.
+
+    One object per chunk (§7), so a reference is exactly a chunk id:
+    (partition, rank).
+    """
+
+    partition: int
+    rank: int
+
+    def __str__(self) -> str:
+        return f"obj:{self.partition}.{self.rank}"
+
+
+class PicklerRegistry:
+    """Maps registered application classes to tags and state converters."""
+
+    def __init__(self) -> None:
+        self._by_tag: Dict[int, Tuple[Type, Callable, Callable]] = {}
+        self._by_class: Dict[Type, int] = {}
+
+    def register(
+        self,
+        tag: int,
+        cls: Type,
+        to_state: Callable[[Any], Any],
+        from_state: Callable[[Any], Any],
+    ) -> None:
+        """Register ``cls`` under ``tag`` (≥ 32).
+
+        ``to_state`` must produce a value in the primitive universe;
+        ``from_state`` inverts it.  Both must be deterministic — functional
+        indexes (§8) extract keys from unpickled objects, and the paper
+        requires deterministic extraction.
+        """
+        if tag < _FIRST_CLASS_TAG:
+            raise PicklingError(f"class tags start at {_FIRST_CLASS_TAG}, got {tag}")
+        if tag in self._by_tag and self._by_tag[tag][0] is not cls:
+            raise PicklingError(f"tag {tag} already registered")
+        self._by_tag[tag] = (cls, to_state, from_state)
+        self._by_class[cls] = tag
+
+    def tag_for(self, value: Any) -> int:
+        tag = self._by_class.get(type(value))
+        if tag is None:
+            raise PicklingError(
+                f"cannot pickle object of unregistered type {type(value).__name__}"
+            )
+        return tag
+
+    def entry(self, tag: int) -> Tuple[Type, Callable, Callable]:
+        try:
+            return self._by_tag[tag]
+        except KeyError:
+            raise PicklingError(f"unknown pickle tag {tag}") from None
+
+
+#: default shared registry (applications may create private ones)
+DEFAULT_REGISTRY = PicklerRegistry()
+
+
+def register_class(
+    tag: int,
+    cls: Type,
+    to_state: Callable[[Any], Any],
+    from_state: Callable[[Any], Any],
+    registry: PicklerRegistry = DEFAULT_REGISTRY,
+) -> None:
+    """Register an application class on the default registry."""
+    registry.register(tag, cls, to_state, from_state)
+
+
+def pickle_value(value: Any, registry: PicklerRegistry = DEFAULT_REGISTRY) -> bytes:
+    """Serialize ``value`` to the portable binary format (see module doc)."""
+    enc = Encoder()
+    _encode(enc, value, registry, depth=0)
+    return enc.finish()
+
+
+def unpickle_value(data: bytes, registry: PicklerRegistry = DEFAULT_REGISTRY) -> Any:
+    """Inverse of :func:`pickle_value`; raises :class:`PicklingError` on
+    malformed or unknown-tag input (never executes code)."""
+    dec = Decoder(data)
+    value = _decode(dec, registry, depth=0)
+    dec.expect_exhausted()
+    return value
+
+
+_MAX_DEPTH = 64
+
+
+def _encode(enc: Encoder, value: Any, registry: PicklerRegistry, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        raise PicklingError("object graph too deep (cycle?)")
+    if value is None:
+        enc.uint(_TAG_NONE)
+    elif value is False:
+        enc.uint(_TAG_FALSE)
+    elif value is True:
+        enc.uint(_TAG_TRUE)
+    elif type(value) is int:
+        enc.uint(_TAG_INT)
+        enc.int(value)
+    elif type(value) is float:
+        enc.uint(_TAG_FLOAT)
+        enc.float(value)
+    elif type(value) is str:
+        enc.uint(_TAG_STR)
+        enc.text(value)
+    elif type(value) is bytes:
+        enc.uint(_TAG_BYTES)
+        enc.bytes(value)
+    elif type(value) is list:
+        enc.uint(_TAG_LIST)
+        enc.uint(len(value))
+        for item in value:
+            _encode(enc, item, registry, depth + 1)
+    elif type(value) is tuple:
+        enc.uint(_TAG_TUPLE)
+        enc.uint(len(value))
+        for item in value:
+            _encode(enc, item, registry, depth + 1)
+    elif type(value) is dict:
+        enc.uint(_TAG_DICT)
+        enc.uint(len(value))
+        for key, item in value.items():
+            _encode(enc, key, registry, depth + 1)
+            _encode(enc, item, registry, depth + 1)
+    elif type(value) is set:
+        enc.uint(_TAG_SET)
+        enc.uint(len(value))
+        # deterministic encoding for sets of sortable primitives
+        try:
+            items = sorted(value)
+        except TypeError:
+            items = list(value)
+        for item in items:
+            _encode(enc, item, registry, depth + 1)
+    elif type(value) is ObjectRef:
+        enc.uint(_TAG_REF)
+        enc.uint(value.partition)
+        enc.uint(value.rank)
+    else:
+        tag = registry.tag_for(value)
+        _cls, to_state, _from_state = registry.entry(tag)
+        enc.uint(tag)
+        _encode(enc, to_state(value), registry, depth + 1)
+
+
+def _decode(dec: Decoder, registry: PicklerRegistry, depth: int) -> Any:
+    if depth > _MAX_DEPTH:
+        raise PicklingError("pickled data too deeply nested")
+    try:
+        tag = dec.uint()
+    except ValueError as exc:
+        raise PicklingError(f"truncated pickle: {exc}") from exc
+    try:
+        if tag == _TAG_NONE:
+            return None
+        if tag == _TAG_FALSE:
+            return False
+        if tag == _TAG_TRUE:
+            return True
+        if tag == _TAG_INT:
+            return dec.int()
+        if tag == _TAG_FLOAT:
+            return dec.float()
+        if tag == _TAG_STR:
+            return dec.text()
+        if tag == _TAG_BYTES:
+            return dec.bytes()
+        if tag == _TAG_LIST:
+            return [_decode(dec, registry, depth + 1) for _ in range(dec.uint())]
+        if tag == _TAG_TUPLE:
+            return tuple(
+                _decode(dec, registry, depth + 1) for _ in range(dec.uint())
+            )
+        if tag == _TAG_DICT:
+            result = {}
+            for _ in range(dec.uint()):
+                key = _decode(dec, registry, depth + 1)
+                result[key] = _decode(dec, registry, depth + 1)
+            return result
+        if tag == _TAG_SET:
+            return {_decode(dec, registry, depth + 1) for _ in range(dec.uint())}
+        if tag == _TAG_REF:
+            return ObjectRef(dec.uint(), dec.uint())
+    except ValueError as exc:
+        raise PicklingError(f"corrupt pickle: {exc}") from exc
+    cls, _to_state, from_state = registry.entry(tag)
+    state = _decode(dec, registry, depth + 1)
+    value = from_state(state)
+    if not isinstance(value, cls):
+        raise PicklingError(
+            f"from_state for tag {tag} returned {type(value).__name__}, "
+            f"expected {cls.__name__}"
+        )
+    return value

@@ -1,0 +1,152 @@
+"""Archival store: untrusted stream storage for backups (§2.1).
+
+"It need not provide efficient random access to data, only input and
+output streams.  It might be a tape or an ftp server."  We model it as a
+set of named streams with sequential writers and readers.  Like the
+untrusted store, it is untrusted: tests tamper with archived bytes to
+check that restores validate.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+
+class StreamWriter:
+    """Sequential writer for one archival stream."""
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+        self._closed = False
+
+    def write(self, data: bytes) -> None:
+        if self._closed:
+            raise ValueError("stream writer is closed")
+        self._parts.append(bytes(data))
+
+    def close(self) -> bytes:
+        self._closed = True
+        return b"".join(self._parts)
+
+
+class StreamReader:
+    """Sequential reader over one archival stream."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def read(self, size: int) -> bytes:
+        chunk = self._data[self._pos : self._pos + size]
+        self._pos += len(chunk)
+        return chunk
+
+    def read_exact(self, size: int) -> bytes:
+        chunk = self.read(size)
+        if len(chunk) != size:
+            raise ValueError(
+                f"archival stream truncated: wanted {size}, got {len(chunk)}"
+            )
+        return chunk
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._data)
+
+
+class ArchivalStore(ABC):
+    """A named collection of write-once streams."""
+
+    @abstractmethod
+    def create_stream(self, name: str) -> StreamWriter: ...
+
+    @abstractmethod
+    def commit_stream(self, name: str, writer: StreamWriter) -> None: ...
+
+    @abstractmethod
+    def open_stream(self, name: str) -> StreamReader: ...
+
+    @abstractmethod
+    def list_streams(self) -> List[str]: ...
+
+    @abstractmethod
+    def delete_stream(self, name: str) -> None: ...
+
+    # -- attacker interface --------------------------------------------------
+
+    @abstractmethod
+    def tamper_stream(self, name: str, offset: int, data: bytes) -> None:
+        """Attacker: overwrite bytes inside an archived stream."""
+
+
+class MemoryArchivalStore(ArchivalStore):
+    """Archival store kept in memory."""
+
+    def __init__(self) -> None:
+        self._streams: Dict[str, bytes] = {}
+
+    def create_stream(self, name: str) -> StreamWriter:
+        return StreamWriter()
+
+    def commit_stream(self, name: str, writer: StreamWriter) -> None:
+        self._streams[name] = writer.close()
+
+    def open_stream(self, name: str) -> StreamReader:
+        if name not in self._streams:
+            raise KeyError(f"no archival stream named {name!r}")
+        return StreamReader(self._streams[name])
+
+    def list_streams(self) -> List[str]:
+        return sorted(self._streams)
+
+    def delete_stream(self, name: str) -> None:
+        self._streams.pop(name, None)
+
+    def tamper_stream(self, name: str, offset: int, data: bytes) -> None:
+        stream = bytearray(self._streams[name])
+        stream[offset : offset + len(data)] = data
+        self._streams[name] = bytes(stream)
+
+
+class FileArchivalStore(ArchivalStore):
+    """Archival store as files in a directory (one file per stream)."""
+
+    def __init__(self, directory: str) -> None:
+        self._dir = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        safe = name.replace("/", "_")
+        return os.path.join(self._dir, safe)
+
+    def create_stream(self, name: str) -> StreamWriter:
+        return StreamWriter()
+
+    def commit_stream(self, name: str, writer: StreamWriter) -> None:
+        with open(self._path(name), "wb") as f:
+            f.write(writer.close())
+
+    def open_stream(self, name: str) -> StreamReader:
+        path = self._path(name)
+        if not os.path.exists(path):
+            raise KeyError(f"no archival stream named {name!r}")
+        with open(path, "rb") as f:
+            return StreamReader(f.read())
+
+    def list_streams(self) -> List[str]:
+        return sorted(os.listdir(self._dir))
+
+    def delete_stream(self, name: str) -> None:
+        path = self._path(name)
+        if os.path.exists(path):
+            os.remove(path)
+
+    def tamper_stream(self, name: str, offset: int, data: bytes) -> None:
+        with open(self._path(name), "r+b") as f:
+            f.seek(offset)
+            f.write(data)

@@ -1,0 +1,31 @@
+"""Secret store: a small amount of read-only persistent secret storage.
+
+On the paper's reference platform this is battery-backed SRAM inside a
+secure coprocessor (§2.1): e.g. 16 bytes that only a trusted program can
+read.  In this simulation it is an object that only trusted code paths
+hold a reference to; the untrusted store's attacker API has no route to it.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class SecretStore:
+    """Holds the platform master secret."""
+
+    SIZE = 16
+
+    def __init__(self, secret: bytes) -> None:
+        if len(secret) != self.SIZE:
+            raise ValueError(f"secret must be {self.SIZE} bytes, got {len(secret)}")
+        self._secret = bytes(secret)
+
+    @classmethod
+    def generate(cls) -> "SecretStore":
+        """Provision a fresh random secret (the manufacturing step)."""
+        return cls(os.urandom(cls.SIZE))
+
+    def read(self) -> bytes:
+        """Read the secret.  Only trusted code ever holds this object."""
+        return self._secret

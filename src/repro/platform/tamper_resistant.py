@@ -1,0 +1,74 @@
+"""Tamper-resistant store and tamper-resistant counter (§2.1, §4.8.2).
+
+Both variants share the contract that matters for TDB's security argument:
+
+* only trusted programs can write them (simulated by reference hiding);
+* updates are atomic with respect to crashes.
+
+The generic store holds a few bytes (the residual-log hash plus the log
+tail location under direct hash validation).  The counter variant is the
+strictly weaker device: it can only move forward, which is all
+counter-based validation needs.
+
+Both count their writes: the paper's performance analysis (Figure 12)
+attributes a distinct latency ``l_t`` to tamper-resistant store flushes.
+"""
+
+from __future__ import annotations
+
+
+class TamperResistantStore:
+    """A small writable store; writes are atomic across crashes."""
+
+    SIZE = 64  # generous: hash digest + tail location
+
+    def __init__(self) -> None:
+        self._data = b""
+        self.write_count = 0
+
+    def write(self, data: bytes) -> None:
+        if len(data) > self.SIZE:
+            raise ValueError(
+                f"tamper-resistant store holds at most {self.SIZE} bytes, "
+                f"got {len(data)}"
+            )
+        # Atomic: a simulated crash can only observe the old or new value,
+        # never a torn write — callers crash *around* this call, not inside.
+        self._data = bytes(data)
+        self.write_count += 1
+
+    def read(self) -> bytes:
+        return self._data
+
+
+class TamperResistantCounter:
+    """A monotonic counter that no program can decrement (§4.8.2.2).
+
+    This is the weaker requirement: even *untrusted* programs may be allowed
+    to increment it, because they cannot produce a commit chunk signed for
+    the higher count.
+    """
+
+    def __init__(self, initial: int = 0) -> None:
+        if initial < 0:
+            raise ValueError("counter cannot be negative")
+        self._value = initial
+        self.write_count = 0
+
+    def increment(self) -> int:
+        self._value += 1
+        self.write_count += 1
+        return self._value
+
+    def advance_to(self, value: int) -> None:
+        """Advance to ``value``; refuses to move backwards."""
+        if value < self._value:
+            raise ValueError(
+                f"counter cannot decrement ({self._value} -> {value})"
+            )
+        if value != self._value:
+            self._value = value
+            self.write_count += 1
+
+    def read(self) -> int:
+        return self._value

@@ -1,0 +1,59 @@
+"""Bundle of all platform pieces a TDB instance runs on."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.platform.archival import ArchivalStore, MemoryArchivalStore
+from repro.platform.crash import CrashInjector
+from repro.platform.secret_store import SecretStore
+from repro.platform.tamper_resistant import (
+    TamperResistantCounter,
+    TamperResistantStore,
+)
+from repro.platform.untrusted import MemoryUntrustedStore, UntrustedStore
+
+
+@dataclass
+class TrustedPlatform:
+    """Everything §2.1 requires, wired together.
+
+    Both tamper-resistant variants are provisioned; the chunk store uses
+    whichever its validation mode needs (the hash store for direct hash
+    validation, the counter for counter-based validation).
+    """
+
+    secret_store: SecretStore
+    tamper_resistant: TamperResistantStore
+    counter: TamperResistantCounter
+    untrusted: UntrustedStore
+    archival: ArchivalStore
+    injector: CrashInjector
+
+    @classmethod
+    def create_in_memory(
+        cls,
+        untrusted_size: int = 16 * 1024 * 1024,
+        secret: Optional[bytes] = None,
+        injector: Optional[CrashInjector] = None,
+    ) -> "TrustedPlatform":
+        """Provision a fresh in-memory platform (the common test fixture)."""
+        injector = injector or CrashInjector()
+        return cls(
+            secret_store=SecretStore(secret or os.urandom(SecretStore.SIZE)),
+            tamper_resistant=TamperResistantStore(),
+            counter=TamperResistantCounter(),
+            untrusted=MemoryUntrustedStore(untrusted_size, injector),
+            archival=MemoryArchivalStore(),
+            injector=injector,
+        )
+
+    def reboot(self) -> None:
+        """Simulate a power failure: volatile state of the stores is lost.
+
+        The untrusted store reverts un-flushed writes; the secret and
+        tamper-resistant stores are persistent and survive unchanged.
+        """
+        self.untrusted.simulate_crash()

@@ -1,0 +1,239 @@
+"""The untrusted store: bulk persistent storage anyone can read or write.
+
+This is where the database lives (§2.1): "persistent, allows efficient
+random access, and can be read and written by any program".  Two
+implementations are provided — an in-memory image (fast, used by most
+tests and benchmarks) and a file-backed one.
+
+Three aspects of the simulation deserve explanation:
+
+**Crash semantics.**  Writes are applied to the image immediately (the OS
+page-cache view) but recorded in an undo journal until :meth:`flush`.  A
+simulated fail-stop crash (:meth:`simulate_crash`) rolls back every
+un-flushed write, modelling data that never reached the platter.  A crash
+injected *during* a flush leaves a prefix of the pending writes durable —
+the torn-commit case recovery must handle.
+
+**Attacker API.**  ``tamper_read`` / ``tamper_write`` / ``tamper_image``
+give tests and demos the powers of the hosting party: arbitrary read and
+write access to the raw device, including whole-image save/replay (the
+replay attack of §1).  Trusted code never calls these.
+
+**I/O accounting.**  Every read, write, and flush is tallied in
+:class:`IOStats`.  The benchmark harness feeds the tallies to a
+:class:`~repro.platform.disk_model.DiskModel` to produce the modeled I/O
+latencies that reproduce the paper's Figure 12 breakdown without needing a
+2000-era disk.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.platform.crash import CrashInjector
+
+
+@dataclass
+class IOStats:
+    """Tally of untrusted-store traffic since the last :meth:`reset`."""
+
+    reads: int = 0
+    bytes_read: int = 0
+    writes: int = 0
+    bytes_written: int = 0
+    flushes: int = 0
+    flushed_bytes: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.bytes_read = 0
+        self.writes = 0
+        self.bytes_written = 0
+        self.flushes = 0
+        self.flushed_bytes = 0
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(
+            reads=self.reads,
+            bytes_read=self.bytes_read,
+            writes=self.writes,
+            bytes_written=self.bytes_written,
+            flushes=self.flushes,
+            flushed_bytes=self.flushed_bytes,
+        )
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        return IOStats(
+            reads=self.reads - earlier.reads,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            writes=self.writes - earlier.writes,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            flushes=self.flushes - earlier.flushes,
+            flushed_bytes=self.flushed_bytes - earlier.flushed_bytes,
+        )
+
+
+@dataclass
+class _UndoRecord:
+    offset: int
+    old_bytes: bytes
+    new_len: int
+
+
+class UntrustedStore(ABC):
+    """Byte-addressed untrusted storage with flush/crash semantics."""
+
+    def __init__(
+        self, size: int, crash_injector: Optional[CrashInjector] = None
+    ) -> None:
+        self._size = size
+        self.stats = IOStats()
+        self.injector = crash_injector or CrashInjector()
+        #: chronological journal of writes not yet flushed
+        self._undo: List[_UndoRecord] = []
+
+    # -- raw image access, provided by subclasses ---------------------------
+
+    @abstractmethod
+    def _image_read(self, offset: int, size: int) -> bytes: ...
+
+    @abstractmethod
+    def _image_write(self, offset: int, data: bytes) -> None: ...
+
+    # -- trusted interface ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def read(self, offset: int, size: int) -> bytes:
+        self._check_range(offset, size)
+        self.stats.reads += 1
+        self.stats.bytes_read += size
+        return self._image_read(offset, size)
+
+    def read_many(self, extents: List[Tuple[int, int]]) -> List[bytes]:
+        """Batched read (for the §10 "untrusted storage on servers"
+        extension, where round-trips matter)."""
+        return [self.read(offset, size) for offset, size in extents]
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check_range(offset, len(data))
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        self._undo.append(
+            _UndoRecord(offset, self._image_read(offset, len(data)), len(data))
+        )
+        self._image_write(offset, data)
+
+    def flush(self) -> None:
+        """Make all buffered writes durable.
+
+        A crash injected at ``untrusted.flush.partial`` makes only a prefix
+        of the pending writes durable.
+        """
+        self.injector.point("untrusted.flush.begin")
+        self.stats.flushes += 1
+        pending = self._undo
+        self._undo = []
+        for index, record in enumerate(pending):
+            self.stats.flushed_bytes += record.new_len
+            try:
+                self.injector.point("untrusted.flush.partial")
+            except Exception:
+                # Everything from this record on is still volatile: put the
+                # un-flushed suffix back so simulate_crash reverts it.
+                self._undo = pending[index:]
+                raise
+        self.injector.point("untrusted.flush.end")
+
+    # -- crash simulation ----------------------------------------------------
+
+    def simulate_crash(self) -> None:
+        """Discard every write since the last flush (power failure)."""
+        for record in reversed(self._undo):
+            self._image_write(record.offset, record.old_bytes)
+        self._undo = []
+
+    # -- attacker interface --------------------------------------------------
+
+    def tamper_read(self, offset: int, size: int) -> bytes:
+        """Attacker: read raw device bytes (no validation, no accounting)."""
+        return self._image_read(offset, size)
+
+    def tamper_write(self, offset: int, data: bytes) -> None:
+        """Attacker: overwrite raw device bytes."""
+        self._check_range(offset, len(data))
+        self._image_write(offset, data)
+
+    def tamper_image(self) -> bytes:
+        """Attacker: copy the whole device (first half of a replay attack)."""
+        return self._image_read(0, self._size)
+
+    def tamper_replay(self, image: bytes) -> None:
+        """Attacker: restore a previously saved device image."""
+        if len(image) != self._size:
+            raise ValueError("replay image size mismatch")
+        self._image_write(0, image)
+        self._undo = []
+
+    # ------------------------------------------------------------------------
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 or offset + size > self._size:
+            raise ValueError(
+                f"access [{offset}, {offset + size}) outside store of "
+                f"size {self._size}"
+            )
+
+
+class MemoryUntrustedStore(UntrustedStore):
+    """Untrusted store backed by an in-memory byte array."""
+
+    def __init__(
+        self, size: int, crash_injector: Optional[CrashInjector] = None
+    ) -> None:
+        super().__init__(size, crash_injector)
+        self._image = bytearray(size)
+
+    def _image_read(self, offset: int, size: int) -> bytes:
+        return bytes(self._image[offset : offset + size])
+
+    def _image_write(self, offset: int, data: bytes) -> None:
+        self._image[offset : offset + len(data)] = data
+
+
+class FileUntrustedStore(UntrustedStore):
+    """Untrusted store backed by a file (the paper's NTFS-file setup)."""
+
+    def __init__(
+        self,
+        path: str,
+        size: int,
+        crash_injector: Optional[CrashInjector] = None,
+    ) -> None:
+        super().__init__(size, crash_injector)
+        self._path = path
+        create = not os.path.exists(path) or os.path.getsize(path) != size
+        self._file = open(path, "r+b" if not create else "w+b")
+        if create:
+            self._file.truncate(size)
+
+    def _image_read(self, offset: int, size: int) -> bytes:
+        self._file.seek(offset)
+        return self._file.read(size)
+
+    def _image_write(self, offset: int, data: bytes) -> None:
+        self._file.seek(offset)
+        self._file.write(data)
+
+    def flush(self) -> None:
+        super().flush()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._file.close()

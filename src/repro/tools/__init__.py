@@ -1,0 +1,1 @@
+"""Operational tools: offline inspection of TDB stores."""

@@ -1,0 +1,17 @@
+"""Small shared utilities: wire codecs, checksums, and byte helpers."""
+
+from repro.util.codec import (
+    Decoder,
+    Encoder,
+    decode_uvarint,
+    encode_uvarint,
+)
+from repro.util.checksum import crc32_bytes
+
+__all__ = [
+    "Encoder",
+    "Decoder",
+    "encode_uvarint",
+    "decode_uvarint",
+    "crc32_bytes",
+]

@@ -1,0 +1,16 @@
+"""Plain (non-cryptographic) checksums.
+
+Backups carry an *unencrypted* checksum so that an external, untrusted
+application can verify that a backup stream was written completely (§6.2).
+That check provides no security — it only detects accidental truncation —
+so CRC-32 is appropriate.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def crc32_bytes(data: bytes, value: int = 0) -> int:
+    """CRC-32 of ``data``, continuing from ``value`` (for streaming)."""
+    return zlib.crc32(data, value) & 0xFFFFFFFF

@@ -1,0 +1,9 @@
+"""XDB: the conventional embedded-database baseline and its crypto layer
+(§9.5's comparison system)."""
+
+from repro.xdb.btree import BTree
+from repro.xdb.cryptolayer import SecureXDB
+from repro.xdb.db import XDB, Table
+from repro.xdb.pager import PAGE_SIZE, Pager
+
+__all__ = ["XDB", "Table", "BTree", "Pager", "PAGE_SIZE", "SecureXDB"]

@@ -1,0 +1,223 @@
+"""Page-based B-tree for XDB (bytes keys → bytes values).
+
+One node per 4 KiB page.  Like SQLite, XDB represents *tables* as B-trees
+keyed by record id and *indexes* as B-trees keyed by (key bytes): this
+keeps the baseline small without changing its I/O shape — every record
+touch dirties O(depth) pages that are then WAL-logged and forced in place
+at commit.
+
+Node wire format (within a page)::
+
+    [u8 leaf][u16 n]
+    leaf:     n × ( [u16 klen][key][u16 vlen][value] )
+    interior: n × ( [u16 klen][key] )  then  (n+1) × [u32 child]
+
+Split threshold is byte-based (¾ page), so large values still fit.
+Values larger than a page are rejected — the crypto layer keeps records
+under that (the workload's objects are small).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import XDBError
+from repro.xdb.pager import PAGE_SIZE, Pager
+
+_SPLIT_BYTES = (PAGE_SIZE * 3) // 4
+_MAX_VALUE = PAGE_SIZE // 2
+
+
+def _encode_leaf(keys: List[bytes], vals: List[bytes]) -> bytes:
+    out = bytearray()
+    out += struct.pack(">BH", 1, len(keys))
+    for key, val in zip(keys, vals):
+        out += struct.pack(">H", len(key)) + key
+        out += struct.pack(">H", len(val)) + val
+    return bytes(out)
+
+
+def _encode_interior(keys: List[bytes], children: List[int]) -> bytes:
+    out = bytearray()
+    out += struct.pack(">BH", 0, len(keys))
+    for key in keys:
+        out += struct.pack(">H", len(key)) + key
+    for child in children:
+        out += struct.pack(">I", child)
+    return bytes(out)
+
+
+def _decode(page: bytes) -> Tuple[bool, List[bytes], List[bytes], List[int]]:
+    leaf, count = struct.unpack_from(">BH", page, 0)
+    pos = 3
+    keys: List[bytes] = []
+    vals: List[bytes] = []
+    children: List[int] = []
+    if leaf:
+        for _ in range(count):
+            (klen,) = struct.unpack_from(">H", page, pos)
+            pos += 2
+            keys.append(bytes(page[pos : pos + klen]))
+            pos += klen
+            (vlen,) = struct.unpack_from(">H", page, pos)
+            pos += 2
+            vals.append(bytes(page[pos : pos + vlen]))
+            pos += vlen
+        return True, keys, vals, children
+    for _ in range(count):
+        (klen,) = struct.unpack_from(">H", page, pos)
+        pos += 2
+        keys.append(bytes(page[pos : pos + klen]))
+        pos += klen
+    for _ in range(count + 1):
+        (child,) = struct.unpack_from(">I", page, pos)
+        pos += 4
+        children.append(child)
+    return False, keys, vals, children
+
+
+class BTree:
+    """A B-tree rooted at a page; mutations go through the pager."""
+
+    def __init__(self, pager: Pager, root: int) -> None:
+        self.pager = pager
+        self.root = root
+
+    @classmethod
+    def create(cls, pager: Pager) -> "BTree":
+        root = pager.allocate_page()
+        pager.write_page(root, _encode_leaf([], []))
+        return cls(pager, root)
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Exact lookup; ``None`` if absent."""
+        page_no = self.root
+        while True:
+            leaf, keys, vals, children = _decode(self.pager.read_page(page_no))
+            if leaf:
+                index = _bisect(keys, key)
+                if index < len(keys) and keys[index] == key:
+                    return vals[index]
+                return None
+            page_no = children[_bisect_right(keys, key)]
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``; splits propagate up and the root
+        page number stays stable for the catalog."""
+        if len(value) > _MAX_VALUE:
+            raise XDBError(f"value of {len(value)} bytes exceeds XDB record limit")
+        split = self._put(self.root, key, value)
+        if split is not None:
+            # the root split: move its (left-half) content to a fresh page
+            # and turn the root page into an interior node, so the root
+            # page number stays stable for the catalog
+            sep, right = split
+            old = bytes(self.pager.read_page(self.root))
+            left = self.pager.allocate_page()
+            self.pager.write_page(left, old)
+            self.pager.write_page(self.root, _encode_interior([sep], [left, right]))
+
+    def _put(self, page_no: int, key: bytes, value: bytes) -> Optional[Tuple[bytes, int]]:
+        leaf, keys, vals, children = _decode(self.pager.read_page(page_no))
+        if leaf:
+            index = _bisect(keys, key)
+            if index < len(keys) and keys[index] == key:
+                vals[index] = value
+            else:
+                keys.insert(index, key)
+                vals.insert(index, value)
+            encoded = _encode_leaf(keys, vals)
+            if len(encoded) <= _SPLIT_BYTES or len(keys) < 2:
+                self.pager.write_page(page_no, encoded)
+                return None
+            mid = len(keys) // 2
+            right = self.pager.allocate_page()
+            self.pager.write_page(right, _encode_leaf(keys[mid:], vals[mid:]))
+            self.pager.write_page(page_no, _encode_leaf(keys[:mid], vals[:mid]))
+            return keys[mid], right
+        index = _bisect_right(keys, key)
+        split = self._put(children[index], key, value)
+        if split is None:
+            return None
+        sep, right_child = split
+        keys.insert(index, sep)
+        children.insert(index + 1, right_child)
+        encoded = _encode_interior(keys, children)
+        if len(encoded) <= _SPLIT_BYTES or len(keys) < 2:
+            self.pager.write_page(page_no, encoded)
+            return None
+        mid = len(keys) // 2
+        sep_up = keys[mid]
+        right = self.pager.allocate_page()
+        self.pager.write_page(
+            right, _encode_interior(keys[mid + 1 :], children[mid + 1 :])
+        )
+        self.pager.write_page(
+            page_no, _encode_interior(keys[:mid], children[: mid + 1])
+        )
+        return sep_up, right
+
+    def delete(self, key: bytes) -> bool:
+        """Lazy deletion (no rebalancing); returns True if the key existed."""
+        return self._delete(self.root, key)
+
+    def _delete(self, page_no: int, key: bytes) -> bool:
+        leaf, keys, vals, children = _decode(self.pager.read_page(page_no))
+        if leaf:
+            index = _bisect(keys, key)
+            if index >= len(keys) or keys[index] != key:
+                return False
+            del keys[index]
+            del vals[index]
+            self.pager.write_page(page_no, _encode_leaf(keys, vals))
+            return True
+        return self._delete(children[_bisect_right(keys, key)], key)
+
+    def scan(
+        self, low: Optional[bytes] = None, high: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """In-order iteration over [low, high] (inclusive bounds)."""
+
+        def walk(page_no: int) -> Iterator[Tuple[bytes, bytes]]:
+            leaf, keys, vals, children = _decode(self.pager.read_page(page_no))
+            if leaf:
+                for key, val in zip(keys, vals):
+                    if low is not None and key < low:
+                        continue
+                    if high is not None and key > high:
+                        return
+                    yield key, val
+                return
+            for index, child in enumerate(children):
+                if low is not None and index < len(keys) and keys[index] < low:
+                    continue
+                if high is not None and index > 0 and keys[index - 1] > high:
+                    return
+                yield from walk(child)
+
+        yield from walk(self.root)
+
+
+def _bisect(keys: List[bytes], key: bytes) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _bisect_right(keys: List[bytes], key: bytes) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if key < keys[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -1,0 +1,48 @@
+"""Shared fixtures for the TDB test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chunkstore import ChunkStore, StoreConfig
+from repro.platform import TrustedPlatform
+
+
+def make_config(**overrides) -> StoreConfig:
+    """A small, fast store configuration for tests.
+
+    ``ctr-sha256`` keeps the pure-Python crypto cost negligible; dedicated
+    crypto tests exercise DES/3DES explicitly.
+    """
+    defaults = dict(
+        segment_size=16 * 1024,
+        system_cipher="ctr-sha256",
+        system_hash="sha1",
+        validation_mode="counter",
+        delta_ut=1,
+        checkpoint_dirty_threshold=256,
+    )
+    defaults.update(overrides)
+    return StoreConfig(**defaults)
+
+
+def make_platform(size: int = 4 * 1024 * 1024, **kwargs) -> TrustedPlatform:
+    return TrustedPlatform.create_in_memory(untrusted_size=size, **kwargs)
+
+
+@pytest.fixture
+def platform() -> TrustedPlatform:
+    return make_platform()
+
+
+@pytest.fixture
+def store(platform) -> ChunkStore:
+    return ChunkStore.format(platform, make_config())
+
+
+@pytest.fixture(params=["counter", "direct"])
+def any_mode_store(platform, request) -> ChunkStore:
+    """A store in each validation mode (parametrized)."""
+    return ChunkStore.format(
+        platform, make_config(validation_mode=request.param)
+    )

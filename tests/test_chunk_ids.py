@@ -1,0 +1,93 @@
+"""Chunk id / position arithmetic (§4.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chunkstore.ids import (
+    LEADER_HEIGHT,
+    SYSTEM_PARTITION,
+    ChunkId,
+    data_id,
+    leader_id,
+    partition_rank,
+    rank_to_partition,
+    required_height,
+    tree_capacity,
+)
+
+
+class TestChunkId:
+    def test_kinds(self):
+        assert data_id(1, 0).is_data()
+        assert ChunkId(1, 2, 0).is_map()
+        assert leader_id(1).is_leader()
+        assert not leader_id(1).is_data()
+
+    def test_parent_child_roundtrip(self):
+        child = ChunkId(3, 1, 130)
+        parent = child.parent(64)
+        assert parent == ChunkId(3, 2, 2)
+        assert parent.child(64, child.slot(64)) == child
+
+    def test_parent_of_leader_rejected(self):
+        with pytest.raises(ValueError):
+            leader_id(1).parent(64)
+
+    def test_child_of_data_rejected(self):
+        with pytest.raises(ValueError):
+            data_id(1, 0).child(64, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkId(-1, 0, 0)
+
+    def test_str(self):
+        assert str(ChunkId(2, 1, 5)) == "2:1.5"
+        assert str(leader_id(0)) == "0:leader"
+
+    @given(
+        st.integers(0, 100),
+        st.integers(0, 5),
+        st.integers(0, 10**6),
+        st.sampled_from([2, 4, 64]),
+    )
+    def test_parent_slot_invariant(self, partition, height, rank, fanout):
+        cid = ChunkId(partition, height, rank)
+        parent = cid.parent(fanout)
+        assert parent.height == height + 1
+        assert parent.child(fanout, cid.slot(fanout)) == cid
+
+
+class TestHeights:
+    def test_required_height_empty(self):
+        assert required_height(64, 0) == 0
+
+    def test_required_height_single(self):
+        assert required_height(64, 1) == 1
+
+    def test_required_height_boundary(self):
+        assert required_height(64, 64) == 1
+        assert required_height(64, 65) == 2
+        assert required_height(64, 64 * 64) == 2
+        assert required_height(64, 64 * 64 + 1) == 3
+
+    def test_tree_capacity(self):
+        assert tree_capacity(64, 1) == 64
+        assert tree_capacity(64, 3) == 64**3
+
+    @given(st.integers(1, 10**7), st.sampled_from([2, 8, 64]))
+    def test_height_covers(self, next_rank, fanout):
+        height = required_height(fanout, next_rank)
+        assert tree_capacity(fanout, height) >= next_rank
+        if height > 1:
+            assert tree_capacity(fanout, height - 1) < next_rank
+
+
+class TestPartitionRanks:
+    def test_roundtrip(self):
+        for pid in range(1, 50):
+            assert rank_to_partition(partition_rank(pid)) == pid
+
+    def test_system_partition_has_no_rank(self):
+        with pytest.raises(ValueError):
+            partition_rank(SYSTEM_PARTITION)

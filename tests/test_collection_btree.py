@@ -1,0 +1,173 @@
+"""The persistent B-tree (§8), checked against a dict model with
+hypothesis-driven operation sequences."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.chunkstore import ChunkStore
+from repro.collection import btree
+from repro.errors import IndexError_
+from repro.objectstore import ObjectStore
+from tests.conftest import make_config, make_platform
+
+
+@pytest.fixture
+def env():
+    platform = make_platform(size=16 * 1024 * 1024)
+    chunks = ChunkStore.format(platform, make_config(segment_size=32 * 1024))
+    objects = ObjectStore(chunks, cache_size=16384)
+    pid = objects.create_partition(cipher_name="null", hash_name="sha1")
+    return objects, pid
+
+
+def build_tree(objects, pid, entries):
+    with objects.transaction() as tx:
+        root = btree.create(tx, pid)
+        refs = {}
+        for key in entries:
+            refs[key] = tx.create(pid, f"obj-{key}")
+            root = btree.insert(tx, pid, root, key, refs[key])
+    return root, refs
+
+
+class TestBasics:
+    def test_empty_tree(self, env):
+        objects, pid = env
+        with objects.transaction() as tx:
+            root = btree.create(tx, pid)
+            assert btree.lookup(tx, root, 5) == []
+            assert list(btree.iterate(tx, root)) == []
+
+    def test_insert_lookup(self, env):
+        objects, pid = env
+        root, refs = build_tree(objects, pid, range(10))
+        with objects.transaction() as tx:
+            assert btree.lookup(tx, root, 7) == [refs[7]]
+            assert btree.lookup(tx, root, 99) == []
+
+    def test_duplicate_keys_accumulate_refs(self, env):
+        objects, pid = env
+        with objects.transaction() as tx:
+            root = btree.create(tx, pid)
+            r1 = tx.create(pid, "a")
+            r2 = tx.create(pid, "b")
+            root = btree.insert(tx, pid, root, "same", r1)
+            root = btree.insert(tx, pid, root, "same", r2)
+            assert set(btree.lookup(tx, root, "same")) == {r1, r2}
+
+    def test_insert_same_pair_idempotent(self, env):
+        objects, pid = env
+        with objects.transaction() as tx:
+            root = btree.create(tx, pid)
+            ref = tx.create(pid, "a")
+            root = btree.insert(tx, pid, root, 1, ref)
+            root = btree.insert(tx, pid, root, 1, ref)
+            assert btree.lookup(tx, root, 1) == [ref]
+
+    def test_ordered_iteration_through_splits(self, env):
+        objects, pid = env
+        keys = list(range(0, 500, 7)) + list(range(3, 500, 11))
+        root, refs = build_tree(objects, pid, keys)
+        with objects.transaction() as tx:
+            got = [key for key, _ in btree.iterate(tx, root)]
+        # keys occurring in both ranges carry two refs and appear twice
+        assert got == sorted(keys)
+
+    def test_range_query(self, env):
+        objects, pid = env
+        root, refs = build_tree(objects, pid, range(100))
+        with objects.transaction() as tx:
+            got = [k for k, _ in btree.iterate(tx, root, low=25, high=30)]
+            assert got == [25, 26, 27, 28, 29, 30]
+            got = [k for k, _ in btree.iterate(tx, root, low=25, high=30,
+                                               low_inclusive=False,
+                                               high_inclusive=False)]
+            assert got == [26, 27, 28, 29]
+            got = [k for k, _ in btree.iterate(tx, root, low=95)]
+            assert got == [95, 96, 97, 98, 99]
+            got = [k for k, _ in btree.iterate(tx, root, high=3)]
+            assert got == [0, 1, 2, 3]
+
+    def test_remove(self, env):
+        objects, pid = env
+        root, refs = build_tree(objects, pid, range(200))
+        with objects.transaction() as tx:
+            for key in range(0, 200, 2):
+                root = btree.remove(tx, pid, root, key, refs[key])
+            remaining = [k for k, _ in btree.iterate(tx, root)]
+        assert remaining == list(range(1, 200, 2))
+
+    def test_remove_missing_raises(self, env):
+        objects, pid = env
+        root, refs = build_tree(objects, pid, range(5))
+        with objects.transaction() as tx:
+            with pytest.raises(IndexError_):
+                btree.remove(tx, pid, root, 99, refs[0])
+
+    def test_persistence(self, env):
+        objects, pid = env
+        root, refs = build_tree(objects, pid, range(150))
+        objects.chunks.checkpoint()
+        objects.cache.clear()
+        objects.chunks.cache.clear()
+        with objects.transaction() as tx:
+            assert btree.lookup(tx, root, 120) == [refs[120]]
+            assert len(list(btree.iterate(tx, root))) == 150
+
+    def test_string_keys(self, env):
+        objects, pid = env
+        keys = [f"key-{i:04d}" for i in range(80)]
+        root, refs = build_tree(objects, pid, keys)
+        with objects.transaction() as tx:
+            got = [k for k, _ in btree.iterate(tx, root, low="key-0010", high="key-0015")]
+        assert got == [f"key-{i:04d}" for i in range(10, 16)]
+
+    def test_tuple_keys(self, env):
+        objects, pid = env
+        keys = [(i % 5, i) for i in range(60)]
+        root, refs = build_tree(objects, pid, keys)
+        with objects.transaction() as tx:
+            got = [k for k, _ in btree.iterate(tx, root)]
+        assert got == sorted(keys)
+
+
+class TestModelBased:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "remove", "lookup"]),
+                st.integers(0, 60),
+            ),
+            max_size=120,
+        )
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_against_dict_model(self, ops):
+        platform = make_platform(size=16 * 1024 * 1024)
+        chunks = ChunkStore.format(platform, make_config(segment_size=32 * 1024))
+        objects = ObjectStore(chunks, cache_size=16384)
+        pid = objects.create_partition(cipher_name="null", hash_name="sha1")
+        model = {}
+        with objects.transaction() as tx:
+            root = btree.create(tx, pid)
+            ref_pool = {key: tx.create(pid, key) for key in range(61)}
+            for op, key in ops:
+                if op == "insert":
+                    root = btree.insert(tx, pid, root, key, ref_pool[key])
+                    model.setdefault(key, set()).add(ref_pool[key])
+                elif op == "remove" and key in model:
+                    root = btree.remove(tx, pid, root, key, ref_pool[key])
+                    model[key].discard(ref_pool[key])
+                    if not model[key]:
+                        del model[key]
+                else:
+                    assert set(btree.lookup(tx, root, key)) == model.get(key, set())
+            # final full check: iteration matches the model exactly
+            got = {}
+            for key, ref in btree.iterate(tx, root):
+                got.setdefault(key, set()).add(ref)
+            assert got == model

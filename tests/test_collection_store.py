@@ -1,0 +1,250 @@
+"""Collection store (§8): collections, functional indexes, automatic
+maintenance, iterators, dynamic index add/drop."""
+
+import pytest
+
+from repro.chunkstore import ChunkStore
+from repro.collection import (
+    CollectionStore,
+    KeyFunctionRegistry,
+    field_key,
+)
+from repro.errors import IndexError_, TamperDetectedError
+from repro.objectstore import ObjectStore
+from tests.conftest import make_config, make_platform
+
+
+@pytest.fixture
+def env():
+    platform = make_platform(size=16 * 1024 * 1024)
+    chunks = ChunkStore.format(platform, make_config(segment_size=32 * 1024))
+    objects = ObjectStore(chunks, cache_size=16384)
+    pid = objects.create_partition(cipher_name="ctr-sha256", hash_name="sha1")
+    registry = KeyFunctionRegistry()
+    registry.register("price", field_key("price"))
+    registry.register("title", field_key("title"))
+    registry.register("owner", field_key("owner"))
+    collections = CollectionStore(objects, pid, registry)
+    return platform, chunks, objects, collections
+
+
+def goods_collection(objects, collections, count=50):
+    with objects.transaction() as tx:
+        goods = collections.create_collection(tx, "goods")
+        collections.add_index(tx, goods, "by_price", "price", sorted_index=True)
+        collections.add_index(tx, goods, "by_title", "title", sorted_index=False)
+        refs = [
+            collections.insert(
+                tx, goods, {"title": f"g{i}", "price": (i * 13) % 40}
+            )
+            for i in range(count)
+        ]
+    return goods, refs
+
+
+class TestCollections:
+    def test_create_open(self, env):
+        _, _, objects, collections = env
+        with objects.transaction() as tx:
+            collections.create_collection(tx, "goods")
+        with objects.transaction() as tx:
+            coll = collections.open_collection(tx, "goods")
+            assert coll.size(tx) == 0
+
+    def test_duplicate_name_rejected(self, env):
+        _, _, objects, collections = env
+        with objects.transaction() as tx:
+            collections.create_collection(tx, "goods")
+            with pytest.raises(IndexError_):
+                collections.create_collection(tx, "goods")
+
+    def test_missing_collection(self, env):
+        _, _, objects, collections = env
+        with objects.transaction() as tx:
+            with pytest.raises(IndexError_):
+                collections.open_collection(tx, "nope")
+
+    def test_collection_names(self, env):
+        _, _, objects, collections = env
+        with objects.transaction() as tx:
+            collections.create_collection(tx, "a")
+            collections.create_collection(tx, "b")
+            assert collections.collection_names(tx) == ["a", "b"]
+
+    def test_drop_collection_keeps_objects(self, env):
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections, 10)
+        with objects.transaction() as tx:
+            collections.drop_collection(tx, "goods")
+            assert collections.collection_names(tx) == []
+            # member objects survive (only membership/indexes dropped)
+            assert tx.get(refs[0])["title"] == "g0"
+
+    def test_scan(self, env):
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections, 25)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            assert set(collections.scan(tx, goods)) == set(refs)
+
+    def test_contains(self, env):
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections, 5)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            assert collections.contains(tx, goods, refs[0])
+            collections.remove(tx, goods, refs[0])
+            assert not collections.contains(tx, goods, refs[0])
+
+
+class TestIndexes:
+    def test_exact_match_unsorted(self, env):
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            hits = collections.exact(tx, goods, "by_title", "g7")
+            assert [tx.get(h)["title"] for h in hits] == ["g7"]
+
+    def test_exact_match_sorted(self, env):
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            hits = collections.exact(tx, goods, "by_price", 13)
+            assert all(tx.get(h)["price"] == 13 for h in hits)
+            assert hits
+
+    def test_range_query(self, env):
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            results = list(collections.range(tx, goods, "by_price", 10, 20))
+            assert results == sorted(results, key=lambda pair: pair[0])
+            assert all(10 <= key <= 20 for key, _ in results)
+            expected = sum(1 for i in range(50) if 10 <= (i * 13) % 40 <= 20)
+            assert len(results) == expected
+
+    def test_range_on_unsorted_rejected(self, env):
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            with pytest.raises(IndexError_):
+                list(collections.range(tx, goods, "by_title", "a", "z"))
+
+    def test_update_moves_index_entries(self, env):
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            old = tx.get(refs[0])
+            collections.update(tx, goods, refs[0], dict(old, price=777))
+            assert refs[0] in collections.exact(tx, goods, "by_price", 777)
+            assert refs[0] not in collections.exact(tx, goods, "by_price", old["price"])
+
+    def test_update_unindexed_field_keeps_index(self, env):
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            old = tx.get(refs[3])
+            collections.update(tx, goods, refs[3], dict(old, extra="note"))
+            assert refs[3] in collections.exact(tx, goods, "by_price", old["price"])
+
+    def test_remove_purges_index_entries(self, env):
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            price = tx.get(refs[5])["price"]
+            collections.remove(tx, goods, refs[5])
+            assert refs[5] not in collections.exact(tx, goods, "by_price", price)
+            assert collections.exact(tx, goods, "by_title", "g5") == []
+
+    def test_add_index_backfills_existing_members(self, env):
+        """Indexes can be dynamically added (§8) — existing members get
+        indexed immediately."""
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            collections.add_index(tx, goods, "by_owner", "owner", sorted_index=True)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            # owner is absent -> key None -> not indexed; add one with owner
+            ref = collections.insert(
+                tx, goods, {"title": "x", "price": 1, "owner": 9}
+            )
+            assert collections.exact(tx, goods, "by_owner", 9) == [ref]
+
+    def test_drop_index(self, env):
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            collections.drop_index(tx, goods, "by_price")
+            with pytest.raises(IndexError_):
+                collections.exact(tx, goods, "by_price", 13)
+
+    def test_none_key_means_unindexed(self, env):
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections, count=3)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            ref = collections.insert(tx, goods, {"title": "no-price"})
+            # present in the collection, absent from the price index
+            assert collections.contains(tx, goods, ref)
+            assert ref not in [
+                r for _k, r in collections.range(tx, goods, "by_price", None, None)
+            ]
+
+
+class TestDurabilityAndTrust:
+    def test_everything_survives_reopen(self, env):
+        platform, chunks, objects, collections = env
+        goods, refs = goods_collection(objects, collections)
+        chunks.close()
+        platform.reboot()
+        chunks2 = ChunkStore.open(platform)
+        objects2 = ObjectStore(chunks2, cache_size=16384)
+        registry = KeyFunctionRegistry()
+        registry.register("price", field_key("price"))
+        registry.register("title", field_key("title"))
+        collections2 = CollectionStore(objects2, collections.partition, registry)
+        with objects2.transaction() as tx:
+            goods = collections2.open_collection(tx, "goods")
+            assert goods.size(tx) == 50
+            assert len(collections2.exact(tx, goods, "by_title", "g9")) == 1
+            results = list(collections2.range(tx, goods, "by_price", 0, 5))
+            assert all(0 <= key <= 5 for key, _ in results)
+
+    def test_index_tampering_detected(self, env):
+        """§1.2's motivating attack — 'effectively delete an object by
+        modifying the indexes' — is *detected* in TDB because index nodes
+        are chunks like any other."""
+        platform, chunks, objects, collections = env
+        goods, refs = goods_collection(objects, collections)
+        chunks.checkpoint()
+        # find the chunk holding an index btree node and flip a bit in it:
+        # walk live data descriptors of the partition and corrupt them all;
+        # at least one holds index metadata, and every read must validate
+        pid = collections.partition
+        tampered = 0
+        for rank in chunks.data_ranks(pid)[:80]:
+            from repro.chunkstore.ids import data_id
+
+            descriptor = chunks._get_descriptor(data_id(pid, rank))
+            middle = descriptor.location + descriptor.length // 2
+            byte = platform.untrusted.tamper_read(middle, 1)
+            platform.untrusted.tamper_write(middle, bytes([byte[0] ^ 1]))
+            tampered += 1
+        assert tampered
+        chunks.cache.clear()
+        objects.cache.clear()
+        with pytest.raises(TamperDetectedError):
+            with objects.transaction() as tx:
+                goods = collections.open_collection(tx, "goods")
+                for hit in collections.exact(tx, goods, "by_title", "g7"):
+                    tx.get(hit)

@@ -1,0 +1,132 @@
+"""StoreConfig validation, and the lazy-flush / Δtu > 0 configuration
+(§4.8.2.2: "the system might also allow t to leap ahead of u")."""
+
+import pytest
+
+from repro.chunkstore import ChunkStore, StoreConfig, ops
+from repro.chunkstore.config import derive_key, mac_key, system_cipher_key
+from tests.conftest import make_config, make_platform
+
+
+class TestStoreConfig:
+    def test_defaults_valid(self):
+        StoreConfig()
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            StoreConfig(validation_mode="hope")
+
+    def test_bad_fanout(self):
+        with pytest.raises(ValueError):
+            StoreConfig(fanout=1)
+
+    def test_bad_segment_size(self):
+        with pytest.raises(ValueError):
+            StoreConfig(segment_size=100)
+
+    def test_bad_delta_ut(self):
+        with pytest.raises(ValueError):
+            StoreConfig(delta_ut=0)
+
+    def test_bad_delta_tu(self):
+        with pytest.raises(ValueError):
+            StoreConfig(delta_tu=-1)
+
+    def test_reopen_with_mismatched_geometry_rejected(self):
+        from repro.errors import ChunkStoreError
+
+        platform = make_platform()
+        store = ChunkStore.format(platform, make_config(segment_size=16 * 1024))
+        store.close()
+        with pytest.raises(ChunkStoreError):
+            ChunkStore.open(platform, make_config(segment_size=32 * 1024))
+
+    def test_reopen_without_config_uses_stored(self):
+        platform = make_platform()
+        store = ChunkStore.format(platform, make_config(fanout=8))
+        store.close()
+        reopened = ChunkStore.open(platform)
+        assert reopened.config.fanout == 8
+
+
+class TestKeyDerivation:
+    def test_deterministic(self):
+        secret = bytes(range(16))
+        assert derive_key(secret, "label", 24) == derive_key(secret, "label", 24)
+
+    def test_domain_separated(self):
+        secret = bytes(range(16))
+        assert derive_key(secret, "a", 16) != derive_key(secret, "b", 16)
+
+    def test_secret_separated(self):
+        assert derive_key(b"A" * 16, "l", 16) != derive_key(b"B" * 16, "l", 16)
+
+    def test_lengths(self):
+        secret = bytes(16)
+        assert len(system_cipher_key(secret, "3des-cbc")) == 24
+        assert len(system_cipher_key(secret, "des-cbc")) == 8
+        assert len(mac_key(secret)) == 32
+
+
+class TestLazyFlush:
+    """flush_every_commit=False: the untrusted store is flushed lazily;
+    the TR counter may lead the durable log by up to Δtu commits."""
+
+    def build(self, delta_tu=2, delta_ut=3):
+        platform = make_platform()
+        store = ChunkStore.format(
+            platform,
+            make_config(
+                flush_every_commit=False, delta_tu=delta_tu, delta_ut=delta_ut
+            ),
+        )
+        pid = store.allocate_partition()
+        store.commit(
+            [
+                ops.WritePartition(pid, cipher_name="null", hash_name="sha1"),
+                ops.WriteChunk(pid, 0, b"base"),
+            ]
+        )
+        return platform, store, pid
+
+    def test_fewer_flushes_than_commits(self):
+        platform, store, pid = self.build()
+        flushes_before = platform.untrusted.stats.flushes
+        for i in range(12):
+            store.commit([ops.WriteChunk(pid, 0, f"v{i}".encode())])
+        assert (
+            platform.untrusted.stats.flushes - flushes_before < 12
+        ), "lazy mode must coalesce flushes"
+
+    def test_crash_may_lose_recent_but_within_window(self):
+        """Lazy flushing trades durability of the last few commits for
+        latency — but recovery still validates within the Δtu window."""
+        platform, store, pid = self.build()
+        for i in range(10):
+            store.commit([ops.WriteChunk(pid, 0, f"v{i}".encode())])
+        platform.reboot()  # un-flushed commits vanish
+        reopened = ChunkStore.open(platform)
+        value = reopened.read_chunk(pid, 0)
+        assert value == b"base" or value.startswith(b"v")
+
+    def test_clean_close_loses_nothing(self):
+        platform, store, pid = self.build()
+        for i in range(10):
+            store.commit([ops.WriteChunk(pid, 0, f"v{i}".encode())])
+        store.close()  # checkpoint flushes everything
+        platform.reboot()
+        reopened = ChunkStore.open(platform)
+        assert reopened.read_chunk(pid, 0) == b"v9"
+
+    def test_rollback_beyond_window_detected(self):
+        from repro.errors import TamperDetectedError
+
+        platform, store, pid = self.build(delta_tu=1, delta_ut=1)
+        store.checkpoint()
+        saved = platform.untrusted.tamper_image()
+        for i in range(8):
+            store.commit([ops.WriteChunk(pid, 0, f"v{i}".encode())])
+        store.close(checkpoint=False)
+        platform.untrusted.tamper_replay(saved)
+        with pytest.raises(TamperDetectedError):
+            ChunkStore.open(platform)

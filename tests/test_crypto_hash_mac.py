@@ -1,0 +1,103 @@
+"""Hash functions and the HMAC implementation (RFC 2202 vectors)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import NullHash, Sha1Hash, Sha256Hash
+from repro.crypto.mac import Mac
+from repro.crypto.registry import HASH_NAMES, make_hash
+
+
+class TestHashers:
+    def test_sha1_known_digest(self):
+        assert (
+            Sha1Hash().hash(b"abc").hex()
+            == "a9993e364706816aba3e25717850c26c9cd0d89d"
+        )
+
+    def test_sha256_known_digest(self):
+        assert (
+            Sha256Hash().hash(b"abc").hex()
+            == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_digest_sizes(self):
+        assert Sha1Hash().digest_size == 20
+        assert Sha256Hash().digest_size == 32
+        assert NullHash().digest_size == 0
+
+    def test_null_hash_is_empty(self):
+        assert NullHash().hash(b"anything") == b""
+
+    def test_streaming_matches_oneshot(self):
+        hasher = Sha1Hash().new()
+        hasher.update(b"hello ")
+        hasher.update(b"world")
+        assert hasher.digest() == Sha1Hash().hash(b"hello world")
+
+    @pytest.mark.parametrize("name", HASH_NAMES)
+    def test_registry(self, name):
+        hash_function = make_hash(name)
+        assert len(hash_function.hash(b"x")) == hash_function.digest_size
+
+    def test_unknown_hash(self):
+        with pytest.raises(ValueError):
+            make_hash("md5crc")
+
+
+class TestMac:
+    def test_rfc2202_hmac_sha1_case1(self):
+        mac = Mac(b"\x0b" * 20, Sha1Hash())
+        tag = mac.sign(b"Hi There")
+        assert tag.hex() == "b617318655057264e28bc0b6fb378c8ef146be00"
+
+    def test_rfc2202_hmac_sha1_case2(self):
+        mac = Mac(b"Jefe", Sha1Hash())
+        tag = mac.sign(b"what do ya want for nothing?")
+        assert tag.hex() == "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+
+    def test_rfc4231_hmac_sha256_case1(self):
+        mac = Mac(b"\x0b" * 20, Sha256Hash())
+        tag = mac.sign(b"Hi There")
+        assert (
+            tag.hex()
+            == "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        )
+
+    def test_long_key_is_hashed_first(self):
+        # RFC 2202 case 6: 80-byte key
+        mac = Mac(b"\xaa" * 80, Sha1Hash())
+        tag = mac.sign(b"Test Using Larger Than Block-Size Key - Hash Key First")
+        assert tag.hex() == "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+
+    def test_verify_accepts_valid(self):
+        mac = Mac(b"secret", Sha1Hash())
+        assert mac.verify(b"message", mac.sign(b"message"))
+
+    def test_verify_rejects_modified_message(self):
+        mac = Mac(b"secret", Sha1Hash())
+        assert not mac.verify(b"messagX", mac.sign(b"message"))
+
+    def test_verify_rejects_modified_tag(self):
+        mac = Mac(b"secret", Sha1Hash())
+        tag = bytearray(mac.sign(b"message"))
+        tag[0] ^= 1
+        assert not mac.verify(b"message", bytes(tag))
+
+    def test_verify_rejects_wrong_length(self):
+        mac = Mac(b"secret", Sha1Hash())
+        assert not mac.verify(b"message", b"short")
+
+    def test_different_keys_different_tags(self):
+        assert Mac(b"key1", Sha1Hash()).sign(b"m") != Mac(b"key2", Sha1Hash()).sign(
+            b"m"
+        )
+
+    def test_null_hash_rejected(self):
+        with pytest.raises(ValueError):
+            Mac(b"key", NullHash())
+
+    @given(st.binary(max_size=100), st.binary(min_size=1, max_size=40))
+    def test_sign_verify_roundtrip(self, message, key):
+        mac = Mac(key, Sha256Hash())
+        assert mac.verify(message, mac.sign(message))

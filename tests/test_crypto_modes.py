@@ -1,0 +1,155 @@
+"""CBC mode, PKCS#7 padding, XTEA, and the CTR stream cipher."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.cipher import NullCipher
+from repro.crypto.des import Des
+from repro.crypto.modes import (
+    CbcCipher,
+    CtrStreamCipher,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.crypto.registry import CIPHER_NAMES, KEY_SIZES, make_cipher
+from repro.crypto.xtea import Xtea
+
+
+class TestPadding:
+    def test_pad_empty(self):
+        assert pkcs7_pad(b"", 8) == b"\x08" * 8
+
+    def test_pad_always_adds(self):
+        assert pkcs7_pad(b"12345678", 8) == b"12345678" + b"\x08" * 8
+
+    def test_unpad_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"1234567", 8)
+
+    def test_unpad_rejects_zero_byte(self):
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"1234567\x00", 8)
+
+    def test_unpad_rejects_oversize_byte(self):
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"1234567\x09", 8)
+
+    def test_unpad_rejects_inconsistent(self):
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"123456\x01\x02", 8)
+
+    @given(st.binary(max_size=100))
+    def test_roundtrip(self, data):
+        assert pkcs7_unpad(pkcs7_pad(data, 8), 8) == data
+
+
+class TestCbc:
+    def cipher(self):
+        return CbcCipher(Des(b"8bytekey"), "des-cbc")
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=30)
+    def test_roundtrip(self, plaintext):
+        cipher = self.cipher()
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=20)
+    def test_ciphertext_size_exact(self, plaintext):
+        cipher = self.cipher()
+        assert len(cipher.encrypt(plaintext)) == cipher.ciphertext_size(
+            len(plaintext)
+        )
+
+    def test_fresh_iv_randomises(self):
+        cipher = self.cipher()
+        assert cipher.encrypt(b"same message") != cipher.encrypt(b"same message")
+
+    def test_bit_flip_breaks_decrypt_or_changes_plaintext(self):
+        cipher = self.cipher()
+        ct = bytearray(cipher.encrypt(b"attack at dawn!!"))
+        ct[-1] ^= 1
+        try:
+            result = cipher.decrypt(bytes(ct))
+            assert result != b"attack at dawn!!"
+        except ValueError:
+            pass  # padding failure is also acceptable
+
+    def test_short_ciphertext_rejected(self):
+        with pytest.raises(ValueError):
+            self.cipher().decrypt(b"tooshort")
+
+    def test_misaligned_ciphertext_rejected(self):
+        with pytest.raises(ValueError):
+            self.cipher().decrypt(b"x" * 17)
+
+
+class TestXtea:
+    def test_roundtrip(self):
+        cipher = Xtea(bytes(range(16)))
+        assert cipher.decrypt_block(cipher.encrypt_block(b"ABCDEFGH")) == b"ABCDEFGH"
+
+    def test_wrong_key_size(self):
+        with pytest.raises(ValueError):
+            Xtea(bytes(8))
+
+    def test_reference_vector(self):
+        # XTEA reference: key 0..15, plaintext of zeros
+        cipher = Xtea(bytes(16))
+        ct = cipher.encrypt_block(bytes(8))
+        assert cipher.decrypt_block(ct) == bytes(8)
+        assert ct != bytes(8)
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=8, max_size=8))
+    @settings(max_examples=30)
+    def test_roundtrip_random(self, key, block):
+        cipher = Xtea(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+class TestCtrStream:
+    @given(st.binary(max_size=500))
+    @settings(max_examples=30)
+    def test_roundtrip(self, plaintext):
+        cipher = CtrStreamCipher(b"k" * 16)
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    def test_size_is_nonce_plus_payload(self):
+        cipher = CtrStreamCipher(b"k" * 16)
+        assert cipher.ciphertext_size(100) == 108
+        assert len(cipher.encrypt(b"x" * 100)) == 108
+
+    def test_nonce_randomises(self):
+        cipher = CtrStreamCipher(b"k" * 16)
+        assert cipher.encrypt(b"msg") != cipher.encrypt(b"msg")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            CtrStreamCipher(b"")
+
+    def test_short_ciphertext_rejected(self):
+        with pytest.raises(ValueError):
+            CtrStreamCipher(b"k" * 16).decrypt(b"abc")
+
+
+class TestNullCipher:
+    def test_identity(self):
+        cipher = NullCipher()
+        assert cipher.encrypt(b"data") == b"data"
+        assert cipher.decrypt(b"data") == b"data"
+        assert cipher.ciphertext_size(7) == 7
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", CIPHER_NAMES)
+    def test_every_registered_cipher_roundtrips(self, name):
+        key = bytes(range(KEY_SIZES[name])) if KEY_SIZES[name] else b""
+        cipher = make_cipher(name, key)
+        message = b"The quick brown fox jumps over the lazy dog"
+        ct = cipher.encrypt(message)
+        assert cipher.decrypt(ct) == message
+        assert len(ct) == cipher.ciphertext_size(len(message))
+
+    def test_unknown_cipher(self):
+        with pytest.raises(ValueError):
+            make_cipher("rot13", b"")

@@ -1,0 +1,289 @@
+"""Edge cases across layers: segment boundaries, multi-checkpoint
+histories, mixed commits, cleaner+recovery interplay, collection and
+transaction corners."""
+
+import pytest
+
+from repro.chunkstore import ChunkStore, ops
+from repro.errors import (
+    ChunkNotAllocatedError,
+    ChunkStoreError,
+    CrashError,
+    ObjectNotFoundError,
+)
+from tests.conftest import make_config, make_platform
+
+
+def fresh(store, cipher="ctr-sha256"):
+    pid = store.allocate_partition()
+    store.commit([ops.WritePartition(pid, cipher_name=cipher, hash_name="sha1")])
+    return pid
+
+
+class TestSegmentBoundaries:
+    def test_chunk_sizes_around_segment_capacity(self):
+        """Versions close to the per-segment maximum force jumps at every
+        plausible boundary offset."""
+        platform = make_platform(size=4 * 1024 * 1024)
+        store = ChunkStore.format(platform, make_config(segment_size=8 * 1024))
+        pid = fresh(store)
+        written = {}
+        for size in (7000, 7400, 7500, 7600, 100, 7000):
+            rank = store.allocate_chunk(pid)
+            data = bytes([size % 251]) * size
+            store.commit([ops.WriteChunk(pid, rank, data)])
+            written[rank] = data
+        for rank, data in written.items():
+            assert store.read_chunk(pid, rank) == data
+        platform.reboot()
+        reopened = ChunkStore.open(platform)
+        for rank, data in written.items():
+            assert reopened.read_chunk(pid, rank) == data
+
+    def test_commit_set_spanning_segments(self):
+        """One commit larger than a segment spans a jump; it must stay
+        atomic across crash+recovery."""
+        platform = make_platform(size=4 * 1024 * 1024)
+        store = ChunkStore.format(platform, make_config(segment_size=8 * 1024))
+        pid = fresh(store)
+        ranks = [store.allocate_chunk(pid) for _ in range(6)]
+        store.commit([ops.WriteChunk(pid, r, bytes([r]) * 3000) for r in ranks])
+        platform.reboot()
+        reopened = ChunkStore.open(platform)
+        for r in ranks:
+            assert reopened.read_chunk(pid, r) == bytes([r]) * 3000
+
+    def test_torn_spanning_commit_fully_discarded(self):
+        platform = make_platform(size=4 * 1024 * 1024)
+        store = ChunkStore.format(platform, make_config(segment_size=8 * 1024))
+        pid = fresh(store)
+        base = store.allocate_chunk(pid)
+        store.commit([ops.WriteChunk(pid, base, b"base")])
+        ranks = [store.allocate_chunk(pid) for _ in range(6)]
+        platform.injector.arm("commit.before_flush")
+        with pytest.raises(CrashError):
+            store.commit([ops.WriteChunk(pid, r, bytes(3000)) for r in ranks])
+        platform.injector.disarm()
+        platform.reboot()
+        reopened = ChunkStore.open(platform)
+        assert reopened.read_chunk(pid, base) == b"base"
+        for r in ranks:
+            with pytest.raises(Exception):
+                reopened.read_chunk(pid, r)
+
+
+class TestMultiCheckpointHistories:
+    @pytest.mark.parametrize("mode", ["counter", "direct"])
+    def test_many_checkpoints_then_recover(self, mode):
+        platform = make_platform()
+        store = ChunkStore.format(platform, make_config(validation_mode=mode))
+        pid = fresh(store)
+        expected = {}
+        for era in range(5):
+            for i in range(10):
+                rank = store.allocate_chunk(pid)
+                expected[rank] = f"era{era}-{i}".encode()
+                store.commit([ops.WriteChunk(pid, rank, expected[rank])])
+            store.checkpoint()
+        # a few post-checkpoint commits form the residual log
+        for i in range(3):
+            rank = store.allocate_chunk(pid)
+            expected[rank] = f"residual-{i}".encode()
+            store.commit([ops.WriteChunk(pid, rank, expected[rank])])
+        platform.reboot()
+        reopened = ChunkStore.open(platform)
+        for rank, value in expected.items():
+            assert reopened.read_chunk(pid, rank) == value
+
+    def test_checkpoint_with_nothing_dirty(self, store):
+        store.checkpoint()
+        store.checkpoint()  # idempotent, no dirty state
+
+    def test_auto_checkpoint_threshold(self):
+        platform = make_platform()
+        store = ChunkStore.format(
+            platform, make_config(checkpoint_dirty_threshold=10)
+        )
+        pid = fresh(store)
+        checkpoints_before = platform.injector.counts.get("checkpoint.begin", 0)
+        for i in range(40):
+            rank = store.allocate_chunk(pid)
+            store.commit([ops.WriteChunk(pid, rank, b"x")])
+        checkpoints = platform.injector.counts.get("checkpoint.begin", 0)
+        assert checkpoints > checkpoints_before, "dirty threshold must trigger"
+        assert store.cache.dirty_count() < 40
+
+
+class TestMixedCommits:
+    def test_create_write_dealloc_across_partitions_one_commit(self, store):
+        pid_a = fresh(store)
+        rank_a = store.allocate_chunk(pid_a)
+        store.commit([ops.WriteChunk(pid_a, rank_a, b"to be deleted")])
+        pid_b = store.allocate_partition()
+        store.commit(
+            [
+                ops.WritePartition(pid_b, cipher_name="null", hash_name="sha1"),
+                ops.WriteChunk(pid_b, 0, b"fresh data"),
+                ops.DeallocateChunk(pid_a, rank_a),
+            ]
+        )
+        assert store.read_chunk(pid_b, 0) == b"fresh data"
+        with pytest.raises(ChunkNotAllocatedError):
+            store.read_chunk(pid_a, rank_a)
+
+    def test_mixed_commit_survives_recovery(self, platform):
+        store = ChunkStore.format(platform, make_config())
+        pid_a = fresh(store)
+        rank_a = store.allocate_chunk(pid_a)
+        store.commit([ops.WriteChunk(pid_a, rank_a, b"x")])
+        pid_b = store.allocate_partition()
+        snap = store.allocate_partition()
+        store.commit([ops.CopyPartition(snap, pid_a)])
+        store.commit(
+            [
+                ops.WritePartition(pid_b, cipher_name="null", hash_name="sha1"),
+                ops.WriteChunk(pid_b, 0, b"b data"),
+                ops.DeallocatePartition(snap),
+            ]
+        )
+        platform.reboot()
+        reopened = ChunkStore.open(platform)
+        assert reopened.read_chunk(pid_b, 0) == b"b data"
+        assert not reopened.partition_exists(snap)
+        assert reopened.read_chunk(pid_a, rank_a) == b"x"
+
+    def test_copy_then_write_source_same_commit_forbidden_pattern_ok(self, store):
+        """Copying and then writing the source in one commit: the write
+        lands after the copy (ops are ordered partition-ops first), so
+        the snapshot sees the pre-commit state."""
+        pid = fresh(store)
+        rank = store.allocate_chunk(pid)
+        store.commit([ops.WriteChunk(pid, rank, b"before")])
+        snap = store.allocate_partition()
+        store.commit(
+            [
+                ops.WriteChunk(pid, rank, b"after"),
+                ops.CopyPartition(snap, pid),
+            ]
+        )
+        assert store.read_chunk(snap, rank) == b"before"
+        assert store.read_chunk(pid, rank) == b"after"
+
+
+class TestCleanerDirectMode:
+    def test_cleaning_and_recovery_in_direct_mode(self):
+        platform = make_platform(size=1024 * 1024)
+        store = ChunkStore.format(
+            platform,
+            make_config(validation_mode="direct", segment_size=16 * 1024),
+        )
+        pid = fresh(store)
+        ranks = [store.allocate_chunk(pid) for _ in range(8)]
+        store.commit([ops.WriteChunk(pid, r, bytes(400)) for r in ranks])
+        for round_no in range(25):
+            for rank in ranks:
+                store.commit(
+                    [ops.WriteChunk(pid, rank, bytes([round_no]) * 400)]
+                )
+        cleaned = store.clean(max_segments=100)
+        assert cleaned > 0
+        platform.reboot()
+        reopened = ChunkStore.open(platform)
+        for rank in ranks:
+            assert reopened.read_chunk(pid, rank) == bytes([24]) * 400
+
+
+class TestCollectionCorners:
+    def build(self):
+        from repro.collection import CollectionStore, KeyFunctionRegistry, field_key
+        from repro.objectstore import ObjectStore
+
+        platform = make_platform(size=16 * 1024 * 1024)
+        store = ChunkStore.format(platform, make_config(segment_size=32 * 1024))
+        objects = ObjectStore(store)
+        pid = objects.create_partition(cipher_name="null", hash_name="sha1")
+        registry = KeyFunctionRegistry()
+        registry.register("k", field_key("k"))
+        return objects, CollectionStore(objects, pid, registry)
+
+    def test_recreate_dropped_collection(self):
+        objects, collections = self.build()
+        with objects.transaction() as tx:
+            coll = collections.create_collection(tx, "c")
+            collections.add_index(tx, coll, "by_k", "k")
+            collections.insert(tx, coll, {"k": 1})
+            collections.drop_collection(tx, "c")
+            coll2 = collections.create_collection(tx, "c")
+            collections.add_index(tx, coll2, "by_k", "k")
+            collections.insert(tx, coll2, {"k": 2})
+        with objects.transaction() as tx:
+            coll = collections.open_collection(tx, "c")
+            assert [tx.get(r)["k"] for r in collections.exact(tx, coll, "by_k", 2)] == [2]
+            assert collections.exact(tx, coll, "by_k", 1) == []
+
+    def test_object_shared_between_collections(self):
+        objects, collections = self.build()
+        with objects.transaction() as tx:
+            a = collections.create_collection(tx, "a")
+            b = collections.create_collection(tx, "b")
+            ref = collections.insert(tx, a, {"k": 7})
+            collections.insert_ref(tx, b, ref, tx.get(ref))
+            assert collections.contains(tx, a, ref)
+            assert collections.contains(tx, b, ref)
+            # removing from one collection (keeping the object) leaves the
+            # other membership intact
+            collections.remove(tx, a, ref, delete_object=False)
+            assert not collections.contains(tx, a, ref)
+            assert collections.contains(tx, b, ref)
+            assert tx.get(ref) == {"k": 7}
+
+
+class TestTransactionCorners:
+    def build(self):
+        from repro.objectstore import ObjectStore
+
+        platform = make_platform()
+        store = ChunkStore.format(platform, make_config())
+        objects = ObjectStore(store)
+        pid = objects.create_partition(cipher_name="null", hash_name="sha1")
+        return objects, pid
+
+    def test_delete_object_created_in_same_tx(self):
+        objects, pid = self.build()
+        with objects.transaction() as tx:
+            ref = tx.create(pid, "ephemeral")
+            tx.delete(ref)
+        with pytest.raises(ObjectNotFoundError):
+            objects.read_committed(ref)
+
+    def test_create_update_delete_chain_in_one_tx(self):
+        objects, pid = self.build()
+        with objects.transaction() as tx:
+            ref = tx.create(pid, "v1")
+            tx.update(ref, "v2")
+            assert tx.get(ref) == "v2"
+            tx.delete(ref)
+            with pytest.raises(ObjectNotFoundError):
+                tx.get(ref)
+
+    def test_double_commit_rejected(self):
+        from repro.errors import TransactionError
+
+        objects, pid = self.build()
+        tx = objects.transaction()
+        tx.create(pid, "x")
+        tx.commit()
+        with pytest.raises(TransactionError):
+            tx.commit()
+
+    def test_abort_is_idempotent(self):
+        objects, pid = self.build()
+        tx = objects.transaction()
+        tx.create(pid, "x")
+        tx.abort()
+        tx.abort()
+
+    def test_empty_transaction_commits(self):
+        objects, pid = self.build()
+        with objects.transaction():
+            pass

@@ -1,0 +1,46 @@
+"""The exception hierarchy: applications catch TDBError (everything) or
+TamperDetectedError (the security signal) — the taxonomy must hold."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_tdb_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj in (errors.TDBError,):
+                    continue
+                assert issubclass(obj, errors.TDBError), name
+
+    def test_tamper_signals(self):
+        assert issubclass(errors.TamperDetectedError, errors.TDBError)
+        assert issubclass(errors.BackupIntegrityError, errors.TamperDetectedError)
+
+    def test_chunk_store_taxonomy(self):
+        assert issubclass(errors.ChunkNotAllocatedError, errors.ChunkStoreError)
+        assert issubclass(errors.ChunkNotWrittenError, errors.ChunkStoreError)
+        assert issubclass(errors.PartitionNotFoundError, errors.ChunkStoreError)
+
+    def test_object_store_taxonomy(self):
+        assert issubclass(errors.ObjectNotFoundError, errors.ObjectStoreError)
+        assert issubclass(errors.DeadlockError, errors.TransactionError)
+        assert issubclass(errors.PicklingError, errors.ObjectStoreError)
+
+    def test_backup_taxonomy(self):
+        assert issubclass(errors.BackupOrderingError, errors.BackupError)
+        assert issubclass(errors.BackupIntegrityError, errors.BackupError)
+
+    def test_catching_tdberror_catches_an_end_to_end_failure(self):
+        from repro.chunkstore import ChunkStore
+        from tests.conftest import make_config, make_platform
+
+        platform = make_platform()
+        store = ChunkStore.format(platform, make_config())
+        store.close()
+        head = platform.untrusted.tamper_read(10, 1)
+        platform.untrusted.tamper_write(10, bytes([head[0] ^ 0xFF]))
+        with pytest.raises(errors.TDBError):
+            ChunkStore.open(platform)

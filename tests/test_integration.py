@@ -1,0 +1,192 @@
+"""Full-stack integration scenarios: all layers together, across crashes,
+cleaning, backups, and reopen cycles."""
+
+import pytest
+
+from repro import (
+    BackupStore,
+    ChunkStore,
+    CollectionStore,
+    ObjectStore,
+    TamperDetectedError,
+    TrustedPlatform,
+)
+from repro.collection import KeyFunctionRegistry, field_key
+from repro.errors import CrashError
+from tests.conftest import make_config, make_platform
+
+
+def build_stack(platform=None, **config_overrides):
+    platform = platform or make_platform(size=16 * 1024 * 1024)
+    chunks = ChunkStore.format(
+        platform, make_config(segment_size=32 * 1024, **config_overrides)
+    )
+    objects = ObjectStore(chunks, cache_size=8192)
+    pid = objects.create_partition(cipher_name="ctr-sha256", hash_name="sha1")
+    registry = KeyFunctionRegistry()
+    registry.register("ident", field_key("ident"))
+    registry.register("balance", field_key("balance"))
+    collections = CollectionStore(objects, pid, registry)
+    return platform, chunks, objects, collections, pid
+
+
+def reopen_stack(platform, pid):
+    chunks = ChunkStore.open(platform)
+    objects = ObjectStore(chunks, cache_size=8192)
+    registry = KeyFunctionRegistry()
+    registry.register("ident", field_key("ident"))
+    registry.register("balance", field_key("balance"))
+    collections = CollectionStore(objects, pid, registry)
+    return chunks, objects, collections
+
+
+class TestVendingScenario:
+    """The paper's motivating application (§1): pay-per-use accounts."""
+
+    def test_pay_per_use_lifecycle(self):
+        platform, chunks, objects, collections, pid = build_stack()
+        with objects.transaction() as tx:
+            accounts = collections.create_collection(tx, "accounts")
+            collections.add_index(tx, accounts, "by_ident", "ident")
+            collections.add_index(
+                tx, accounts, "by_balance", "balance", sorted_index=True
+            )
+            for i in range(20):
+                collections.insert(
+                    tx, accounts, {"ident": f"user{i}", "balance": 100}
+                )
+        # consume: debit an account per release
+        for use in range(5):
+            with objects.transaction() as tx:
+                accounts = collections.open_collection(tx, "accounts")
+                (ref,) = collections.exact(tx, accounts, "by_ident", "user3")
+                account = tx.get_for_update(ref)
+                assert account["balance"] >= 10, "insufficient funds"
+                collections.update(
+                    tx, accounts, ref, dict(account, balance=account["balance"] - 10)
+                )
+        with objects.transaction() as tx:
+            accounts = collections.open_collection(tx, "accounts")
+            (ref,) = collections.exact(tx, accounts, "by_ident", "user3")
+            assert tx.get(ref)["balance"] == 50
+            # range query over balances works (sorted index on plaintext)
+            low_balance = list(
+                collections.range(tx, accounts, "by_balance", None, 60)
+            )
+            assert [tx.get(r)["ident"] for _k, r in low_balance] == ["user3"]
+
+    def test_crash_mid_purchase_loses_nothing_committed(self):
+        platform, chunks, objects, collections, pid = build_stack()
+        with objects.transaction() as tx:
+            accounts = collections.create_collection(tx, "accounts")
+            collections.add_index(tx, accounts, "by_ident", "ident")
+            ref = collections.insert(tx, accounts, {"ident": "u", "balance": 100})
+        with objects.transaction() as tx:
+            accounts = collections.open_collection(tx, "accounts")
+            collections.update(tx, accounts, ref, {"ident": "u", "balance": 90})
+        platform.injector.arm("commit.before_flush")
+        with pytest.raises(CrashError):
+            with objects.transaction() as tx:
+                accounts = collections.open_collection(tx, "accounts")
+                collections.update(tx, accounts, ref, {"ident": "u", "balance": 0})
+        platform.injector.disarm()
+        platform.reboot()
+        chunks2, objects2, collections2 = reopen_stack(platform, pid)
+        with objects2.transaction() as tx:
+            accounts = collections2.open_collection(tx, "accounts")
+            (found,) = collections2.exact(tx, accounts, "by_ident", "u")
+            assert tx.get(found)["balance"] == 90
+
+    def test_replay_attack_cannot_refund(self):
+        """The §1 replay: consumer saves the DB, spends, restores."""
+        platform, chunks, objects, collections, pid = build_stack(delta_ut=1)
+        with objects.transaction() as tx:
+            accounts = collections.create_collection(tx, "accounts")
+            collections.add_index(tx, accounts, "by_ident", "ident")
+            ref = collections.insert(tx, accounts, {"ident": "u", "balance": 100})
+        saved = platform.untrusted.tamper_image()
+        for _ in range(5):
+            with objects.transaction() as tx:
+                accounts = collections.open_collection(tx, "accounts")
+                account = tx.get_for_update(ref)
+                collections.update(
+                    tx, accounts, ref, dict(account, balance=account["balance"] - 10)
+                )
+        chunks.close(checkpoint=False)
+        platform.untrusted.tamper_replay(saved)
+        with pytest.raises(TamperDetectedError):
+            ChunkStore.open(platform)
+
+
+class TestLongRunning:
+    def test_sustained_mixed_usage_with_reopens(self):
+        platform, chunks, objects, collections, pid = build_stack(
+            checkpoint_dirty_threshold=100
+        )
+        with objects.transaction() as tx:
+            items = collections.create_collection(tx, "items")
+            collections.add_index(tx, items, "by_ident", "ident")
+            collections.add_index(tx, items, "by_balance", "balance", sorted_index=True)
+        expected = {}
+        for era in range(3):
+            for i in range(25):
+                ident = f"era{era}-item{i}"
+                with objects.transaction() as tx:
+                    items = collections.open_collection(tx, "items")
+                    ref = collections.insert(
+                        tx, items, {"ident": ident, "balance": era * 100 + i}
+                    )
+                    expected[ident] = era * 100 + i
+            # delete a few from the previous era
+            if era:
+                with objects.transaction() as tx:
+                    items = collections.open_collection(tx, "items")
+                    for i in range(0, 10, 3):
+                        ident = f"era{era-1}-item{i}"
+                        (ref,) = collections.exact(tx, items, "by_ident", ident)
+                        collections.remove(tx, items, ref)
+                        del expected[ident]
+            chunks.close()
+            platform.reboot()
+            chunks, objects, collections = reopen_stack(platform, pid)
+        with objects.transaction() as tx:
+            items = collections.open_collection(tx, "items")
+            for ident, balance in expected.items():
+                (ref,) = collections.exact(tx, items, "by_ident", ident)
+                assert tx.get(ref)["balance"] == balance
+            assert items.size(tx) == len(expected)
+
+    def test_backup_of_live_object_graph(self):
+        platform, chunks, objects, collections, pid = build_stack()
+        with objects.transaction() as tx:
+            items = collections.create_collection(tx, "items")
+            collections.add_index(tx, items, "by_ident", "ident")
+            for i in range(30):
+                collections.insert(tx, items, {"ident": f"i{i}", "balance": i})
+        backup = BackupStore(chunks)
+        backup.create_backup([pid], "full")
+        with objects.transaction() as tx:
+            items = collections.open_collection(tx, "items")
+            (ref,) = collections.exact(tx, items, "by_ident", "i5")
+            collections.update(tx, items, ref, {"ident": "i5", "balance": 999})
+        backup.create_backup([pid], "incr")
+
+        # media failure: brand-new untrusted store, same secret + archive
+        replacement = TrustedPlatform.create_in_memory(
+            untrusted_size=16 * 1024 * 1024, secret=platform.secret_store.read()
+        )
+        replacement.archival = platform.archival
+        chunks2 = ChunkStore.format(
+            replacement, make_config(segment_size=32 * 1024)
+        )
+        BackupStore(chunks2).restore(["full", "incr"])
+        objects2 = ObjectStore(chunks2)
+        registry = KeyFunctionRegistry()
+        registry.register("ident", field_key("ident"))
+        registry.register("balance", field_key("balance"))
+        collections2 = CollectionStore(objects2, pid, registry)
+        with objects2.transaction() as tx:
+            items = collections2.open_collection(tx, "items")
+            (ref,) = collections2.exact(tx, items, "by_ident", "i5")
+            assert tx.get(ref)["balance"] == 999
+            assert items.size(tx) == 30

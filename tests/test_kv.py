@@ -1,0 +1,144 @@
+"""TrustedKV: the dict-like convenience API keeps every TDB property."""
+
+import pytest
+
+from repro.errors import ObjectNotFoundError, TamperDetectedError
+from repro.kv import TrustedKV
+from tests.conftest import make_platform
+
+
+@pytest.fixture
+def kv():
+    return TrustedKV.create(make_platform(size=16 * 1024 * 1024))
+
+
+class TestDictApi:
+    def test_put_get(self, kv):
+        kv.put("a", 1)
+        kv["b"] = {"nested": [1, 2]}
+        assert kv.get("a") == 1
+        assert kv["b"] == {"nested": [1, 2]}
+
+    def test_missing_key(self, kv):
+        assert kv.get("nope") is None
+        assert kv.get("nope", 42) == 42
+        with pytest.raises(KeyError):
+            kv["nope"]
+
+    def test_overwrite(self, kv):
+        kv["k"] = "v1"
+        kv["k"] = "v2"
+        assert kv["k"] == "v2"
+        assert len(kv) == 1
+
+    def test_delete(self, kv):
+        kv["k"] = 1
+        del kv["k"]
+        assert "k" not in kv
+        with pytest.raises(KeyError):
+            del kv["k"]
+        assert kv.delete("k") is False
+
+    def test_contains_len(self, kv):
+        for i in range(10):
+            kv[f"key{i}"] = i
+        assert len(kv) == 10
+        assert "key3" in kv
+        assert "key99" not in kv
+
+    def test_keys_sorted(self, kv):
+        for key in ("delta", "alpha", "charlie", "bravo"):
+            kv[key] = 0
+        assert kv.keys() == ["alpha", "bravo", "charlie", "delta"]
+
+    def test_items(self, kv):
+        kv.put_many({"a": 1, "b": 2})
+        assert kv.items() == [("a", 1), ("b", 2)]
+
+    def test_range(self, kv):
+        for i in range(20):
+            kv[f"user:{i:03d}"] = i
+        kv["zother"] = -1
+        got = kv.range("user:005", "user:008")
+        assert got == [(f"user:{i:03d}", i) for i in range(5, 9)]
+        assert kv.range(high="user:001") == [("user:000", 0), ("user:001", 1)]
+
+    def test_put_many_atomic(self, kv):
+        kv.put_many({f"k{i}": i for i in range(50)})
+        assert len(kv) == 50
+        assert kv["k49"] == 49
+
+
+class TestDurabilityAndTrust:
+    def test_reopen(self):
+        platform = make_platform(size=16 * 1024 * 1024)
+        kv = TrustedKV.create(platform)
+        kv["persist"] = [1, 2, 3]
+        kv.close()
+        platform.reboot()
+        kv2 = TrustedKV.open(platform)
+        assert kv2["persist"] == [1, 2, 3]
+
+    def test_crash_recovery(self):
+        platform = make_platform(size=16 * 1024 * 1024)
+        kv = TrustedKV.create(platform)
+        kv["committed"] = "yes"
+        platform.reboot()  # no clean close
+        kv2 = TrustedKV.open(platform)
+        assert kv2["committed"] == "yes"
+
+    def test_open_without_layout(self):
+        from repro.chunkstore import ChunkStore
+        from tests.conftest import make_config
+
+        platform = make_platform()
+        ChunkStore.format(platform, make_config()).close()
+        with pytest.raises(ObjectNotFoundError):
+            TrustedKV.open(platform)
+
+    def test_values_encrypted(self):
+        platform = make_platform(size=16 * 1024 * 1024)
+        kv = TrustedKV.create(platform)
+        kv["secret"] = "FINDME-KV-VALUE"
+        assert b"FINDME-KV-VALUE" not in platform.untrusted.tamper_image()
+
+    def test_replay_detected(self):
+        platform = make_platform(size=16 * 1024 * 1024)
+        kv = TrustedKV.create(platform)
+        kv["balance"] = 100
+        kv.chunks.checkpoint()
+        saved = platform.untrusted.tamper_image()
+        for i in range(10):
+            kv["balance"] = 100 - 10 * i
+        kv.close(checkpoint=False)
+        platform.untrusted.tamper_replay(saved)
+        with pytest.raises(TamperDetectedError):
+            TrustedKV.open(platform)
+
+    def test_compact_reclaims(self):
+        platform = make_platform(size=16 * 1024 * 1024)
+        kv = TrustedKV.create(platform)
+        for round_no in range(30):
+            kv.put_many({f"k{i}": f"{round_no}" * 50 for i in range(10)})
+        stored_before = kv.chunks.stored_bytes()
+        kv.compact()
+        assert kv.chunks.stored_bytes() < stored_before
+        assert kv["k5"] == "29" * 50  # last round's value survives compaction
+
+    def test_custom_class_values(self):
+        from repro.objectstore.pickling import PicklerRegistry
+
+        registry = PicklerRegistry()
+
+        class Money:
+            def __init__(self, cents):
+                self.cents = cents
+
+            def __eq__(self, other):
+                return self.cents == other.cents
+
+        registry.register(50, Money, lambda m: m.cents, lambda c: Money(c))
+        platform = make_platform(size=16 * 1024 * 1024)
+        kv = TrustedKV.create(platform, registry=registry)
+        kv["price"] = Money(999)
+        assert kv["price"] == Money(999)

@@ -1,0 +1,158 @@
+"""Lock manager unit tests (§7): modes, upgrades, release semantics,
+and the stale-state regression that once broke mutual exclusion."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.objectstore.locks import LockManager
+
+
+class TestModes:
+    def test_shared_is_compatible_with_shared(self):
+        locks = LockManager(timeout=0.1)
+        locks.acquire_shared(1, "r")
+        locks.acquire_shared(2, "r")
+        assert locks.holds(1, "r") and locks.holds(2, "r")
+
+    def test_exclusive_excludes_shared(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire_exclusive(1, "r")
+        with pytest.raises(DeadlockError):
+            locks.acquire_shared(2, "r")
+
+    def test_shared_excludes_exclusive(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire_shared(1, "r")
+        with pytest.raises(DeadlockError):
+            locks.acquire_exclusive(2, "r")
+
+    def test_exclusive_excludes_exclusive(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire_exclusive(1, "r")
+        with pytest.raises(DeadlockError):
+            locks.acquire_exclusive(2, "r")
+
+    def test_x_subsumes_s(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire_exclusive(1, "r")
+        locks.acquire_shared(1, "r")  # no self-deadlock
+        assert locks.holds(1, "r", exclusive=True)
+
+    def test_reentrant_exclusive(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire_exclusive(1, "r")
+        locks.acquire_exclusive(1, "r")
+
+    def test_distinct_refs_independent(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire_exclusive(1, "a")
+        locks.acquire_exclusive(2, "b")  # no contention
+
+
+class TestUpgrade:
+    def test_sole_shared_holder_upgrades(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire_shared(1, "r")
+        locks.acquire_exclusive(1, "r")
+        assert locks.holds(1, "r", exclusive=True)
+
+    def test_upgrade_blocked_by_other_reader(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire_shared(1, "r")
+        locks.acquire_shared(2, "r")
+        with pytest.raises(DeadlockError):
+            locks.acquire_exclusive(1, "r")
+
+    def test_upgrade_after_other_reader_leaves(self):
+        locks = LockManager(timeout=0.5)
+        locks.acquire_shared(1, "r")
+        locks.acquire_shared(2, "r")
+
+        def release_later():
+            time.sleep(0.05)
+            locks.release_all(2)
+
+        thread = threading.Thread(target=release_later)
+        thread.start()
+        locks.acquire_exclusive(1, "r")  # succeeds once tx 2 releases
+        thread.join()
+
+
+class TestRelease:
+    def test_release_all_frees_everything(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire_exclusive(1, "a")
+        locks.acquire_shared(1, "b")
+        locks.release_all(1)
+        locks.acquire_exclusive(2, "a")
+        locks.acquire_exclusive(2, "b")
+
+    def test_release_unknown_tx_is_noop(self):
+        locks = LockManager()
+        locks.release_all(42)
+
+    def test_holds_after_release(self):
+        locks = LockManager()
+        locks.acquire_exclusive(1, "r")
+        locks.release_all(1)
+        assert not locks.holds(1, "r")
+
+    def test_deadlock_counter(self):
+        locks = LockManager(timeout=0.02)
+        locks.acquire_exclusive(1, "r")
+        for _ in range(3):
+            with pytest.raises(DeadlockError):
+                locks.acquire_exclusive(2, "r")
+        assert locks.deadlocks_broken == 3
+
+
+class TestStaleStateRegression:
+    def test_waiter_does_not_grant_on_orphaned_state(self):
+        """Regression: release_all pops empty state objects; a waiter
+        woken afterwards must re-fetch the live object from the dict, or
+        two transactions can both 'hold' X on different objects."""
+        locks = LockManager(timeout=2.0)
+        locks.acquire_exclusive(1, "r")
+        order = []
+
+        def waiter():
+            locks.acquire_exclusive(2, "r")
+            order.append("2-granted")
+            time.sleep(0.05)
+            order.append("2-releasing")
+            locks.release_all(2)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.02)
+        locks.release_all(1)  # pops nothing (waiter pending), wakes tx 2
+        thread.join(0.5)
+        # now acquire with tx 3: must see tx 2's release, not a stale state
+        locks.acquire_exclusive(3, "r")
+        order.append("3-granted")
+        assert order == ["2-granted", "2-releasing", "3-granted"]
+
+    def test_hammer_mutual_exclusion(self):
+        """Three threads hammer one ref; at most one inside at any time."""
+        locks = LockManager(timeout=5.0)
+        inside = []
+        errors = []
+
+        def worker(tx_id):
+            for _ in range(50):
+                locks.acquire_exclusive(tx_id, "hot")
+                inside.append(tx_id)
+                if len(inside) > 1:
+                    errors.append(list(inside))
+                inside.remove(tx_id)
+                locks.release_all(tx_id)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in (1, 2, 3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors

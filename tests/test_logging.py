@@ -1,0 +1,72 @@
+"""Operational logging: the library reports lifecycle events through
+standard `logging` under the "repro.*" namespace."""
+
+import logging
+
+import pytest
+
+from repro.backup import BackupStore
+from repro.chunkstore import ChunkStore, ops
+from tests.conftest import make_config, make_platform
+
+
+class TestLogging:
+    def test_checkpoint_logged(self, caplog):
+        platform = make_platform()
+        store = ChunkStore.format(platform, make_config())
+        with caplog.at_level(logging.INFO, logger="repro.chunkstore"):
+            store.checkpoint()
+        assert any("checkpoint complete" in r.message for r in caplog.records)
+
+    def test_recovery_logged(self, caplog):
+        platform = make_platform()
+        store = ChunkStore.format(platform, make_config())
+        store.close()
+        platform.reboot()
+        with caplog.at_level(logging.INFO, logger="repro.chunkstore.recovery"):
+            ChunkStore.open(platform)
+        assert any("recovery complete" in r.message for r in caplog.records)
+
+    def test_backup_and_restore_logged(self, caplog):
+        platform = make_platform(size=8 * 1024 * 1024)
+        store = ChunkStore.format(platform, make_config())
+        pid = store.allocate_partition()
+        store.commit(
+            [
+                ops.WritePartition(pid, cipher_name="null", hash_name="sha1"),
+                ops.WriteChunk(pid, 0, b"x"),
+            ]
+        )
+        backup = BackupStore(store)
+        with caplog.at_level(logging.INFO, logger="repro.backup"):
+            backup.create_backup([pid], "b1")
+        assert any("backup b1" in r.message for r in caplog.records)
+        caplog.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.backup"):
+            backup.restore(["b1"])
+        assert any("restore applied" in r.message for r in caplog.records)
+
+    def test_cleaner_logged_at_debug(self, caplog):
+        platform = make_platform(size=1024 * 1024)
+        store = ChunkStore.format(
+            platform, make_config(segment_size=16 * 1024, delta_ut=5)
+        )
+        pid = store.allocate_partition()
+        store.commit([ops.WritePartition(pid, cipher_name="null", hash_name="sha1")])
+        ranks = [store.allocate_chunk(pid) for _ in range(8)]
+        store.commit([ops.WriteChunk(pid, r, bytes(400)) for r in ranks])
+        for round_no in range(20):
+            for rank in ranks:
+                store.commit([ops.WriteChunk(pid, rank, bytes([round_no]) * 400)])
+        with caplog.at_level(logging.DEBUG, logger="repro.chunkstore.cleaner"):
+            assert store.clean(max_segments=50) > 0
+        assert any("cleaned segment" in r.message for r in caplog.records)
+
+    def test_quiet_by_default(self, caplog):
+        """No handler configuration -> the library does not print."""
+        platform = make_platform()
+        with caplog.at_level(logging.ERROR):
+            store = ChunkStore.format(platform, make_config())
+            store.checkpoint()
+        errors = [r for r in caplog.records if r.levelno >= logging.ERROR]
+        assert not errors

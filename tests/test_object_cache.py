@@ -1,0 +1,64 @@
+"""Object cache unit tests (§3, §7)."""
+
+from repro.objectstore.cache import ObjectCache
+from repro.objectstore.pickling import ObjectRef
+
+
+def ref(rank, partition=1):
+    return ObjectRef(partition, rank)
+
+
+class TestObjectCache:
+    def test_present_vs_absent(self):
+        cache = ObjectCache()
+        present, _ = cache.get(ref(0))
+        assert not present
+        cache.put(ref(0), None)  # None is a legitimate cached value
+        present, value = cache.get(ref(0))
+        assert present and value is None
+
+    def test_lru_eviction(self):
+        cache = ObjectCache(max_entries=2)
+        cache.put(ref(0), "a")
+        cache.put(ref(1), "b")
+        cache.get(ref(0))  # touch 0: 1 becomes the LRU victim
+        cache.put(ref(2), "c")
+        assert cache.get(ref(1)) == (False, None)
+        assert cache.get(ref(0)) == (True, "a")
+
+    def test_evict(self):
+        cache = ObjectCache()
+        cache.put(ref(0), "x")
+        cache.evict(ref(0))
+        assert cache.get(ref(0)) == (False, None)
+        cache.evict(ref(0))  # idempotent
+
+    def test_evict_partition(self):
+        cache = ObjectCache()
+        cache.put(ref(0, partition=1), "a")
+        cache.put(ref(0, partition=2), "b")
+        cache.evict_partition(1)
+        assert cache.get(ref(0, partition=1)) == (False, None)
+        assert cache.get(ref(0, partition=2)) == (True, "b")
+
+    def test_hit_miss_counters(self):
+        cache = ObjectCache()
+        cache.get(ref(0))
+        cache.put(ref(0), "v")
+        cache.get(ref(0))
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_len_and_clear(self):
+        cache = ObjectCache()
+        for i in range(5):
+            cache.put(ref(i), i)
+        assert len(cache) == 5
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_overwrite_updates(self):
+        cache = ObjectCache()
+        cache.put(ref(0), "old")
+        cache.put(ref(0), "new")
+        assert cache.get(ref(0)) == (True, "new")
+        assert len(cache) == 1

@@ -1,0 +1,293 @@
+"""Object store transactions (§7): 2PL, no-steal buffering, aborts,
+deadlock breaking, persistence."""
+
+import threading
+
+import pytest
+
+from repro.chunkstore import ChunkStore
+from repro.errors import DeadlockError, ObjectNotFoundError, TransactionError
+from repro.objectstore import ObjectRef, ObjectStore
+from tests.conftest import make_config, make_platform
+
+
+@pytest.fixture
+def env():
+    platform = make_platform(size=8 * 1024 * 1024)
+    chunks = ChunkStore.format(platform, make_config())
+    objects = ObjectStore(chunks, lock_timeout=0.3)
+    pid = objects.create_partition(cipher_name="ctr-sha256", hash_name="sha1")
+    return platform, chunks, objects, pid
+
+
+class TestBasics:
+    def test_create_get(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, {"n": 1})
+        with objects.transaction() as tx:
+            assert tx.get(ref) == {"n": 1}
+
+    def test_update(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, {"n": 1})
+        with objects.transaction() as tx:
+            tx.update(ref, {"n": 2})
+        assert objects.read_committed(ref) == {"n": 2}
+
+    def test_delete(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, "victim")
+        with objects.transaction() as tx:
+            tx.delete(ref)
+        with pytest.raises(ObjectNotFoundError):
+            objects.read_committed(ref)
+
+    def test_read_own_writes(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, "v1")
+            assert tx.get(ref) == "v1"
+            tx.update(ref, "v2")
+            assert tx.get(ref) == "v2"
+
+    def test_read_own_delete(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, "v")
+        with objects.transaction() as tx:
+            tx.delete(ref)
+            with pytest.raises(ObjectNotFoundError):
+                tx.get(ref)
+
+    def test_exists(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, "v")
+        with objects.transaction() as tx:
+            assert tx.exists(ref)
+            assert not tx.exists(ObjectRef(pid, 999))
+
+    def test_missing_object(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            with pytest.raises(ObjectNotFoundError):
+                tx.get(ObjectRef(pid, 42))
+
+    def test_create_at_root(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            tx.create_at(objects.root_ref(pid), {"root": True})
+        assert objects.read_committed(objects.root_ref(pid)) == {"root": True}
+
+    def test_cross_partition_transaction(self, env):
+        _, _, objects, pid = env
+        pid2 = objects.create_partition(cipher_name="null", hash_name="sha1")
+        with objects.transaction() as tx:
+            r1 = tx.create(pid, "in p1")
+            r2 = tx.create(pid2, "in p2")
+        assert objects.read_committed(r1) == "in p1"
+        assert objects.read_committed(r2) == "in p2"
+
+    def test_completed_transaction_rejects_use(self, env):
+        _, _, objects, pid = env
+        tx = objects.transaction()
+        ref = tx.create(pid, "v")
+        tx.commit()
+        with pytest.raises(TransactionError):
+            tx.get(ref)
+
+    def test_op_counting(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, "v")
+        base = dict(objects.op_counts)
+        with objects.transaction() as tx:
+            tx.get(ref)
+            tx.update(ref, "v2")
+        assert objects.op_counts["read"] == base["read"] + 1
+        assert objects.op_counts["update"] == base["update"] + 1
+        assert objects.op_counts["commit"] == base["commit"] + 1
+
+
+class TestAtomicityAndAborts:
+    def test_abort_discards_all(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, "keep")
+        try:
+            with objects.transaction() as tx:
+                tx.update(ref, "discard")
+                tx.create(pid, "also discard")
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert objects.read_committed(ref) == "keep"
+
+    def test_abort_releases_locks(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, "v")
+        tx1 = objects.transaction()
+        tx1.update(ref, "locked")
+        tx1.abort()
+        with objects.transaction() as tx2:
+            tx2.update(ref, "free again")
+        assert objects.read_committed(ref) == "free again"
+
+    def test_multi_object_commit_is_atomic_across_crash(self, env):
+        from repro.errors import CrashError
+
+        platform, chunks, objects, pid = env
+        with objects.transaction() as tx:
+            a = tx.create(pid, {"balance": 100})
+            b = tx.create(pid, {"balance": 0})
+        platform.injector.arm("commit.before_flush")
+        with pytest.raises(CrashError):
+            with objects.transaction() as tx:
+                tx.update(a, {"balance": 50})
+                tx.update(b, {"balance": 50})
+        platform.injector.disarm()
+        platform.reboot()
+        chunks2 = ChunkStore.open(platform)
+        objects2 = ObjectStore(chunks2)
+        # the transfer happened entirely or not at all
+        assert objects2.read_committed(a) == {"balance": 100}
+        assert objects2.read_committed(b) == {"balance": 0}
+
+    def test_no_steal_nothing_persists_before_commit(self, env):
+        platform, chunks, objects, pid = env
+        tx = objects.transaction()
+        tx.create(pid, "uncommitted" * 10)
+        stats_before = platform.untrusted.stats.bytes_written
+        # nothing was written to the untrusted store by the buffered create
+        assert platform.untrusted.stats.bytes_written == stats_before
+        tx.abort()
+
+    def test_abort_returns_allocated_ranks(self, env):
+        _, chunks, objects, pid = env
+        tx = objects.transaction()
+        ref = tx.create(pid, "v")
+        tx.abort()
+        with objects.transaction() as tx2:
+            ref2 = tx2.create(pid, "w")
+        assert ref2.rank == ref.rank  # the rank was recycled
+
+
+class TestConcurrency:
+    def test_shared_readers_coexist(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, "shared")
+        results = []
+
+        def reader():
+            with objects.transaction() as tx:
+                results.append(tx.get(ref))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == ["shared"] * 4
+
+    def test_writer_blocks_writer(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, 0)
+        order = []
+        tx1 = objects.transaction()
+        tx1.update(ref, 1)
+
+        def second_writer():
+            with objects.transaction() as tx2:
+                tx2.update(ref, 2)
+                order.append("tx2-wrote")
+
+        thread = threading.Thread(target=second_writer)
+        thread.start()
+        order.append("tx1-committing")
+        tx1.commit()
+        thread.join()
+        assert order == ["tx1-committing", "tx2-wrote"]
+        assert objects.read_committed(ref) == 2
+
+    def test_deadlock_broken_by_timeout(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            a = tx.create(pid, "a")
+            b = tx.create(pid, "b")
+        tx1 = objects.transaction()
+        tx2 = objects.transaction()
+        tx1.update(a, "a1")
+        tx2.update(b, "b2")
+        outcome = {}
+
+        def cross():
+            try:
+                tx2.update(a, "a2")
+                outcome["tx2"] = "ok"
+                tx2.commit()
+            except DeadlockError:
+                outcome["tx2"] = "deadlock"
+                tx2.abort()
+
+        thread = threading.Thread(target=cross)
+        thread.start()
+        try:
+            tx1.update(b, "b1")
+            outcome["tx1"] = "ok"
+            tx1.commit()
+        except DeadlockError:
+            outcome["tx1"] = "deadlock"
+            tx1.abort()
+        thread.join()
+        assert "deadlock" in outcome.values()
+        assert "ok" in outcome.values()
+
+    def test_serializable_counter_increments(self, env):
+        """Concurrent increments through get_for_update never lose
+        updates (upgrade deadlocks abort and retry)."""
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, 0)
+
+        def increment():
+            for _ in range(10):
+                while True:
+                    try:
+                        with objects.transaction() as tx:
+                            tx.update(ref, tx.get_for_update(ref) + 1)
+                        break
+                    except DeadlockError:
+                        continue
+
+        threads = [threading.Thread(target=increment) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert objects.read_committed(ref) == 30
+
+
+class TestPersistence:
+    def test_objects_survive_reopen(self, env):
+        platform, chunks, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, {"durable": [1, 2, 3]})
+        chunks.close()
+        platform.reboot()
+        chunks2 = ChunkStore.open(platform)
+        objects2 = ObjectStore(chunks2)
+        assert objects2.read_committed(ref) == {"durable": [1, 2, 3]}
+
+    def test_cache_hit_avoids_chunk_read(self, env):
+        platform, chunks, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, "cached")
+        platform.untrusted.stats.reset()
+        objects.read_committed(ref)  # cache hit from the commit
+        assert platform.untrusted.stats.reads == 0

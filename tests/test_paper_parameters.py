@@ -1,0 +1,106 @@
+"""End-to-end with the *paper's* cryptographic parameters: 3DES-CBC for
+the system partition, DES-CBC for data partitions, SHA-1 everywhere
+(§9.1).  Slower in pure Python, so the volumes are small — the point is
+that the faithful configuration exercises the identical code paths."""
+
+import pytest
+
+from repro.backup import BackupStore
+from repro.chunkstore import ChunkStore, StoreConfig, ops
+from repro.errors import TamperDetectedError
+from repro.objectstore import ObjectStore
+from tests.conftest import make_platform
+
+
+@pytest.fixture(scope="module")
+def paper_env():
+    platform = make_platform(size=4 * 1024 * 1024)
+    config = StoreConfig(
+        segment_size=16 * 1024,
+        system_cipher="3des-cbc",
+        system_hash="sha1",
+        validation_mode="counter",
+        delta_ut=5,
+    )
+    store = ChunkStore.format(platform, config)
+    pid = store.allocate_partition()
+    store.commit([ops.WritePartition(pid, cipher_name="des-cbc", hash_name="sha1")])
+    return platform, store, pid
+
+
+class TestPaperParameters:
+    def test_write_read_roundtrip(self, paper_env):
+        platform, store, pid = paper_env
+        rank = store.allocate_chunk(pid)
+        store.commit([ops.WriteChunk(pid, rank, b"pay-per-use state")])
+        assert store.read_chunk(pid, rank) == b"pay-per-use state"
+
+    def test_des_ciphertext_on_device(self, paper_env):
+        platform, store, pid = paper_env
+        rank = store.allocate_chunk(pid)
+        store.commit([ops.WriteChunk(pid, rank, b"DESPLAINTEXTMARKER")])
+        assert b"DESPLAINTEXTMARKER" not in platform.untrusted.tamper_image()
+
+    def test_tamper_detected_under_sha1(self, paper_env):
+        from repro.chunkstore.ids import data_id
+
+        platform, store, pid = paper_env
+        rank = store.allocate_chunk(pid)
+        store.commit([ops.WriteChunk(pid, rank, b"victim chunk")])
+        descriptor = store._get_descriptor(data_id(pid, rank))
+        offset = descriptor.location + descriptor.length - 3
+        byte = platform.untrusted.tamper_read(offset, 1)
+        platform.untrusted.tamper_write(offset, bytes([byte[0] ^ 4]))
+        with pytest.raises(TamperDetectedError):
+            store.read_chunk(pid, rank)
+
+    def test_recovery_under_paper_crypto(self):
+        # own environment: the reboot invalidates any shared store handle
+        platform = make_platform(size=2 * 1024 * 1024)
+        config = StoreConfig(
+            segment_size=16 * 1024,
+            system_cipher="3des-cbc",
+            system_hash="sha1",
+            delta_ut=5,
+        )
+        store = ChunkStore.format(platform, config)
+        pid = store.allocate_partition()
+        store.commit(
+            [
+                ops.WritePartition(pid, cipher_name="des-cbc", hash_name="sha1"),
+                ops.WriteChunk(pid, 0, b"survives 3des recovery"),
+            ]
+        )
+        platform.reboot()
+        reopened = ChunkStore.open(platform)
+        assert reopened.read_chunk(pid, 0) == b"survives 3des recovery"
+
+
+class TestPaperStackSmoke:
+    def test_objects_and_backup_with_paper_crypto(self):
+        platform = make_platform(size=4 * 1024 * 1024)
+        config = StoreConfig(
+            segment_size=16 * 1024,
+            system_cipher="3des-cbc",
+            system_hash="sha1",
+            delta_ut=5,
+        )
+        store = ChunkStore.format(platform, config)
+        objects = ObjectStore(store)
+        pid = objects.create_partition(cipher_name="des-cbc", hash_name="sha1")
+        with objects.transaction() as tx:
+            ref = tx.create(pid, {"contract": "pay-per-use", "fee": 10})
+        backup = BackupStore(store)
+        backup.create_backup([pid], "paper-backup")
+        from repro.platform import TrustedPlatform
+
+        replacement = TrustedPlatform.create_in_memory(
+            untrusted_size=4 * 1024 * 1024, secret=platform.secret_store.read()
+        )
+        replacement.archival = platform.archival
+        restored = ChunkStore.format(replacement, config)
+        BackupStore(restored).restore(["paper-backup"])
+        assert ObjectStore(restored).read_committed(ref) == {
+            "contract": "pay-per-use",
+            "fee": 10,
+        }

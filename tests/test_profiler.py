@@ -1,0 +1,94 @@
+"""The nested-exclusive profiler (Figure 12 accounting) and DiskModel."""
+
+import time
+
+from repro.bench.profiler import Profiler, active_profiler, profiled
+
+
+class TestProfiler:
+    def test_inactive_is_noop(self):
+        with profiled("anything"):
+            pass  # no profiler active: must not blow up
+        assert active_profiler() is None
+
+    def test_simple_attribution(self):
+        with Profiler() as profiler:
+            with profiled("a"):
+                time.sleep(0.01)
+        assert profiler.totals["a"] >= 0.009
+        assert profiler.calls["a"] == 1
+
+    def test_nested_time_is_exclusive(self):
+        """Module A's clock pauses while nested module B runs (§9.5.3:
+        'the time reported for each module excludes nested calls')."""
+        with Profiler() as profiler:
+            with profiled("outer"):
+                time.sleep(0.01)
+                with profiled("inner"):
+                    time.sleep(0.03)
+                time.sleep(0.01)
+        assert profiler.totals["inner"] >= 0.029
+        assert profiler.totals["outer"] < 0.03  # inner time excluded
+
+    def test_same_label_nested(self):
+        with Profiler() as profiler:
+            with profiled("x"):
+                with profiled("x"):
+                    time.sleep(0.005)
+        assert profiler.calls["x"] == 2
+        assert profiler.totals["x"] >= 0.004
+
+    def test_reentrancy_restores_previous(self):
+        outer = Profiler()
+        inner = Profiler()
+        with outer:
+            with inner:
+                with profiled("m"):
+                    pass
+            assert active_profiler() is outer
+        assert "m" in inner.totals
+        assert "m" not in outer.totals
+
+    def test_exception_pops_cleanly(self):
+        with Profiler() as profiler:
+            try:
+                with profiled("failing"):
+                    raise RuntimeError()
+            except RuntimeError:
+                pass
+            with profiled("after"):
+                pass
+        assert "failing" in profiler.totals
+        assert "after" in profiler.totals
+
+    def test_report_snapshot(self):
+        with Profiler() as profiler:
+            with profiled("m"):
+                pass
+        report = profiler.report()
+        report["m"] = 999
+        assert profiler.totals["m"] != 999  # report is a copy
+
+
+class TestRealStackProfiling:
+    def test_chunk_store_attributes_modules(self):
+        from repro.chunkstore import ChunkStore, ops
+        from tests.conftest import make_config, make_platform
+
+        platform = make_platform()
+        store = ChunkStore.format(platform, make_config())
+        pid = store.allocate_partition()
+        store.commit(
+            [ops.WritePartition(pid, cipher_name="ctr-sha256", hash_name="sha1")]
+        )
+        with Profiler() as profiler:
+            for i in range(5):
+                rank = store.allocate_chunk(pid)
+                store.commit([ops.WriteChunk(pid, rank, b"x" * 500)])
+            store.checkpoint()  # persist descriptors before dropping cache
+            store.cache.clear()
+            store.read_chunk(pid, 0)
+        assert "chunk store" in profiler.totals
+        assert "encryption" in profiler.totals
+        assert "untrusted store write" in profiler.totals
+        assert "untrusted store read" in profiler.totals

@@ -1,0 +1,25 @@
+"""The one-command report generator (python -m repro.bench.report)."""
+
+import io
+
+import pytest
+
+
+class TestReport:
+    def test_paper_constants_complete(self):
+        from repro.bench.report import _PAPER_FIG12
+
+        assert sum(_PAPER_FIG12.values()) == 99  # paper's rounded percentages
+
+    @pytest.mark.slow
+    def test_report_generates_markdown(self):
+        from repro.bench.report import main
+
+        out = io.StringIO()
+        assert main(out=out) == 0
+        text = out.getvalue()
+        assert "Figure 10" in text
+        assert "Figure 11" in text
+        assert "Figure 12" in text
+        assert "| read | 781 | 781 |" in text
+        assert "TDB" in text and "XDB" in text

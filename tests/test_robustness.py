@@ -1,0 +1,114 @@
+"""Robustness: oversize values, failed commits, unicode keys, and other
+ways applications lean on the stack."""
+
+import pytest
+
+from repro.chunkstore import ChunkStore, ops
+from repro.errors import ChunkStoreError, ObjectNotFoundError, TransactionError
+from repro.kv import TrustedKV
+from repro.objectstore import ObjectStore
+from tests.conftest import make_config, make_platform
+
+
+class TestOversizeValues:
+    def test_chunk_store_rejects_before_mutating(self):
+        platform = make_platform()
+        store = ChunkStore.format(platform, make_config(segment_size=8 * 1024))
+        pid = store.allocate_partition()
+        store.commit([ops.WritePartition(pid, cipher_name="null", hash_name="sha1")])
+        rank = store.allocate_chunk(pid)
+        store.commit([ops.WriteChunk(pid, rank, b"small")])
+        with pytest.raises(ChunkStoreError):
+            store.commit([ops.WriteChunk(pid, rank, b"x" * 9000)])
+        # the failed commit mutated nothing
+        assert store.read_chunk(pid, rank) == b"small"
+        store.commit([ops.WriteChunk(pid, rank, b"still works")])
+        assert store.read_chunk(pid, rank) == b"still works"
+
+    def test_transaction_aborts_cleanly_on_oversize_object(self):
+        platform = make_platform()
+        chunks = ChunkStore.format(platform, make_config(segment_size=8 * 1024))
+        objects = ObjectStore(chunks)
+        pid = objects.create_partition(cipher_name="null", hash_name="sha1")
+        with objects.transaction() as tx:
+            keep = tx.create(pid, "keep me")
+        tx = objects.transaction()
+        tx.update(keep, "would be lost")
+        tx.create(pid, b"y" * 9000)  # exceeds the segment limit
+        with pytest.raises(ChunkStoreError):
+            tx.commit()
+        assert tx.status.value == "aborted"
+        assert objects.read_committed(keep) == "keep me"
+        # locks were released: a new transaction can proceed
+        with objects.transaction() as tx2:
+            tx2.update(keep, "fresh")
+        assert objects.read_committed(keep) == "fresh"
+
+    def test_failed_commit_leaves_store_recoverable(self):
+        platform = make_platform()
+        store = ChunkStore.format(platform, make_config(segment_size=8 * 1024))
+        pid = store.allocate_partition()
+        store.commit(
+            [
+                ops.WritePartition(pid, cipher_name="null", hash_name="sha1"),
+                ops.WriteChunk(pid, 0, b"base"),
+            ]
+        )
+        with pytest.raises(ChunkStoreError):
+            store.commit([ops.WriteChunk(pid, 0, b"z" * 9000)])
+        platform.reboot()
+        reopened = ChunkStore.open(platform)
+        assert reopened.read_chunk(pid, 0) == b"base"
+
+
+class TestUnicodeAndOddKeys:
+    def test_kv_unicode_keys(self):
+        kv = TrustedKV.create(make_platform(size=16 * 1024 * 1024))
+        kv["clé-française"] = 1
+        kv["ключ"] = 2
+        kv["鍵"] = 3
+        kv[""] = "empty key is a key"
+        assert kv["ключ"] == 2
+        assert kv[""] == "empty key is a key"
+        assert set(kv.keys()) == {"clé-française", "ключ", "鍵", ""}
+
+    def test_kv_values_of_many_shapes(self):
+        kv = TrustedKV.create(make_platform(size=16 * 1024 * 1024))
+        shapes = {
+            "none": None,
+            "bytes": b"\x00\xff" * 10,
+            "nested": {"a": [1, (2, 3), {4, 5}]},
+            "float": -1.5e300,
+        }
+        kv.put_many(shapes)
+        for key, value in shapes.items():
+            assert kv[key] == value
+
+
+class TestApiMisuse:
+    def test_read_of_foreign_partition_object(self):
+        platform = make_platform()
+        chunks = ChunkStore.format(platform, make_config())
+        objects = ObjectStore(chunks)
+        from repro.objectstore import ObjectRef
+
+        with pytest.raises((ObjectNotFoundError, Exception)):
+            objects.read_committed(ObjectRef(77, 0))
+
+    def test_use_after_close(self):
+        platform = make_platform()
+        store = ChunkStore.format(platform, make_config())
+        store.close()
+        with pytest.raises(ChunkStoreError):
+            store.checkpoint()
+        store.close()  # idempotent
+
+    def test_transaction_after_abort_rejected(self):
+        platform = make_platform()
+        chunks = ChunkStore.format(platform, make_config())
+        objects = ObjectStore(chunks)
+        pid = objects.create_partition(cipher_name="null", hash_name="sha1")
+        tx = objects.transaction()
+        tx.abort()
+        with pytest.raises(TransactionError):
+            tx.create(pid, "x")

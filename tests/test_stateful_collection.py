@@ -1,0 +1,127 @@
+"""Hypothesis stateful testing: the collection store against a plain
+Python model, under random interleavings of inserts, updates, removals,
+index queries, transaction aborts, and reopen cycles."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.chunkstore import ChunkStore
+from repro.collection import CollectionStore, KeyFunctionRegistry, field_key
+from repro.objectstore import ObjectStore
+from tests.conftest import make_config, make_platform
+
+
+class CollectionMachine(RuleBasedStateMachine):
+    """Model: a dict ref -> value; the collection must always agree."""
+
+    def __init__(self):
+        super().__init__()
+        self.platform = make_platform(size=16 * 1024 * 1024)
+        self.chunks = ChunkStore.format(
+            self.platform, make_config(segment_size=32 * 1024)
+        )
+        self.objects = ObjectStore(self.chunks, cache_size=8192)
+        self.pid = self.objects.create_partition(
+            cipher_name="null", hash_name="sha1"
+        )
+        registry = KeyFunctionRegistry()
+        registry.register("score", field_key("score"))
+        self.registry = registry
+        self.collections = CollectionStore(self.objects, self.pid, registry)
+        with self.objects.transaction() as tx:
+            coll = self.collections.create_collection(tx, "things")
+            self.collections.add_index(tx, coll, "by_score", "score", sorted_index=True)
+        self.model = {}
+        self.counter = 0
+
+    def _coll(self, tx):
+        return self.collections.open_collection(tx, "things")
+
+    refs = Bundle("refs")
+
+    @rule(target=refs, score=st.integers(0, 50))
+    def insert(self, score):
+        self.counter += 1
+        value = {"id": self.counter, "score": score}
+        with self.objects.transaction() as tx:
+            ref = self.collections.insert(tx, self._coll(tx), value)
+        self.model[ref] = value
+        return ref
+
+    @rule(ref=refs, score=st.integers(0, 50))
+    def update(self, ref, score):
+        if ref not in self.model:
+            return
+        value = dict(self.model[ref], score=score)
+        with self.objects.transaction() as tx:
+            self.collections.update(tx, self._coll(tx), ref, value)
+        self.model[ref] = value
+
+    @rule(ref=refs)
+    def remove(self, ref):
+        if ref not in self.model:
+            return
+        with self.objects.transaction() as tx:
+            self.collections.remove(tx, self._coll(tx), ref)
+        del self.model[ref]
+
+    @rule(ref=refs, score=st.integers(0, 50))
+    def aborted_update(self, ref, score):
+        if ref not in self.model:
+            return
+        try:
+            with self.objects.transaction() as tx:
+                self.collections.update(
+                    tx, self._coll(tx), ref, dict(self.model[ref], score=score)
+                )
+                raise RuntimeError("deliberate abort")
+        except RuntimeError:
+            pass  # the model is unchanged
+
+    @rule()
+    def reopen(self):
+        self.chunks.close()
+        self.platform.reboot()
+        self.chunks = ChunkStore.open(self.platform)
+        self.objects = ObjectStore(self.chunks, cache_size=8192)
+        self.collections = CollectionStore(self.objects, self.pid, self.registry)
+
+    @rule(low=st.integers(0, 50), high=st.integers(0, 50))
+    def range_query_agrees(self, low, high):
+        if low > high:
+            low, high = high, low
+        with self.objects.transaction() as tx:
+            got = sorted(
+                (key, tx.get(ref)["id"])
+                for key, ref in self.collections.range(
+                    tx, self._coll(tx), "by_score", low, high
+                )
+            )
+        expected = sorted(
+            (value["score"], value["id"])
+            for value in self.model.values()
+            if low <= value["score"] <= high
+        )
+        assert got == expected
+
+    @invariant()
+    def size_and_scan_agree(self):
+        with self.objects.transaction() as tx:
+            coll = self._coll(tx)
+            assert coll.size(tx) == len(self.model)
+            got = {ref: tx.get(ref) for ref in self.collections.scan(tx, coll)}
+        assert got == self.model
+
+
+CollectionMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=20, deadline=None
+)
+TestCollectionStateful = CollectionMachine.TestCase

@@ -1,0 +1,144 @@
+"""Validation-mode unit tests (§4.8.2): chain semantics, commit records,
+counter windows — isolated from the full store."""
+
+import pytest
+
+from repro.chunkstore.log import CommitRecord
+from repro.chunkstore.validation import CounterValidation, DirectValidation
+from repro.crypto.hashing import Sha1Hash
+from repro.crypto.mac import Mac
+from repro.errors import TamperDetectedError
+from repro.platform.tamper_resistant import (
+    TamperResistantCounter,
+    TamperResistantStore,
+)
+
+
+class TestDirectValidation:
+    def build(self):
+        return DirectValidation(TamperResistantStore(), Sha1Hash())
+
+    def test_chain_is_order_sensitive(self):
+        a = self.build()
+        b = self.build()
+        a.note_version(b"one")
+        a.note_version(b"two")
+        b.note_version(b"two")
+        b.note_version(b"one")
+        assert a.chain != b.chain
+
+    def test_chain_is_boundary_sensitive(self):
+        """H(chain‖v) chaining distinguishes ["ab"] from ["a","b"]."""
+        a = self.build()
+        b = self.build()
+        a.note_version(b"ab")
+        b.note_version(b"a")
+        b.note_version(b"b")
+        assert a.chain != b.chain
+
+    def test_reset_restarts(self):
+        v = self.build()
+        initial = v.chain
+        v.note_version(b"x")
+        v.reset_chain()
+        assert v.chain == initial
+
+    def test_commit_point_roundtrip(self):
+        v = self.build()
+        v.note_version(b"version")
+        v.commit_point(tail_location=12345, leader_location=42)
+        chain, tail, leader = v.read_tr()
+        assert chain == v.chain
+        assert tail == 12345
+        assert leader == 42
+
+    def test_empty_tr_raises(self):
+        v = self.build()
+        with pytest.raises(TamperDetectedError):
+            v.read_tr()
+
+
+class TestCounterValidation:
+    def build(self, delta_ut=5, delta_tu=0, counter=None):
+        counter = counter or TamperResistantCounter()
+        mac = Mac(b"test-key", Sha1Hash())
+        return (
+            CounterValidation(counter, Sha1Hash(), mac, delta_ut, delta_tu),
+            counter,
+        )
+
+    def test_commit_record_verifies(self):
+        v, _ = self.build()
+        v.begin_commit()
+        v.note_version(b"chunk bytes")
+        record = v.build_commit_record()
+        assert v.verify_commit_record(record, v.current_set_hash())
+
+    def test_forged_record_rejected(self):
+        v, _ = self.build()
+        v.begin_commit()
+        v.note_version(b"data")
+        record = v.build_commit_record()
+        forged = CommitRecord(record.count + 1, record.set_hash, record.mac_tag)
+        assert not v.verify_commit_record(forged, record.set_hash)
+
+    def test_wrong_set_hash_rejected(self):
+        v, _ = self.build()
+        v.begin_commit()
+        v.note_version(b"data")
+        record = v.build_commit_record()
+        assert not v.verify_commit_record(record, b"\x00" * 20)
+
+    def test_counts_increment(self):
+        v, _ = self.build()
+        first = v.build_commit_record().count
+        v.committed()
+        second = v.build_commit_record().count
+        assert second == first + 1
+
+    def test_tr_lag_policy(self):
+        v, counter = self.build(delta_ut=3)
+        for _ in range(2):
+            v.committed()
+            v.note_flushed()
+        assert not v.needs_tr_update()
+        v.committed()
+        v.note_flushed()
+        assert v.needs_tr_update()
+        v.advance_tr(v.tr_update_target())
+        assert counter.read() == 3
+        assert not v.needs_tr_update()
+
+    def test_delta_tu_caps_target_when_unflushed(self):
+        v, _ = self.build(delta_ut=1, delta_tu=1)
+        v.committed()  # count 1 exists, never flushed
+        v.committed()  # count 2
+        # flushed_count = 0, so the counter may lead it by at most Δtu=1
+        assert v.tr_update_target() == 1
+
+    def test_final_count_window(self):
+        v, counter = self.build(delta_ut=5, delta_tu=0)
+        counter.advance_to(10)
+        with pytest.raises(TamperDetectedError):
+            v.check_final_count(9)  # one commit deleted beyond Δtu=0
+
+    def test_final_count_accepts_lag(self):
+        v, counter = self.build(delta_ut=5)
+        counter.advance_to(10)
+        v.check_final_count(13)  # log legitimately ahead within Δut
+        assert counter.read() == 13  # window closed after recovery
+
+    def test_final_count_rejects_runaway_log(self):
+        v, counter = self.build(delta_ut=2)
+        counter.advance_to(10)
+        with pytest.raises(TamperDetectedError):
+            v.check_final_count(20)
+
+    def test_delta_tu_tolerates_lead(self):
+        v, counter = self.build(delta_ut=5, delta_tu=2)
+        counter.advance_to(10)
+        v.check_final_count(8)  # counter leads the log by 2 = Δtu: fine
+        with pytest.raises(TamperDetectedError):
+            v2, counter2 = self.build(delta_ut=5, delta_tu=2)
+            counter2.advance_to(10)
+            v2.check_final_count(7)

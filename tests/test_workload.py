@@ -1,0 +1,84 @@
+"""The bind/release workload reproduces Figure 10's operation counts on
+both systems (this is also the §9.5 comparison's precondition: identical
+work driven through both adapters)."""
+
+import pytest
+
+from repro.bench.adapters import TdbAdapter, XdbAdapter
+from repro.bench.workload import (
+    COLLECTION_COUNT,
+    FIGURE_10,
+    Workload,
+    make_schema,
+)
+
+
+class TestSchema:
+    def test_thirty_collections(self):
+        schema = make_schema()
+        assert len(schema) == COLLECTION_COUNT
+
+    def test_one_to_four_indexes_each(self):
+        for spec in make_schema():
+            assert 1 <= len(spec.indexes) <= 4
+
+    def test_deterministic(self):
+        a = make_schema(seed=7)
+        b = make_schema(seed=7)
+        assert [(s.name, len(s.indexes)) for s in a] == [
+            (s.name, len(s.indexes)) for s in b
+        ]
+
+
+@pytest.mark.slow
+class TestFigure10:
+    def test_tdb_release_counts(self):
+        adapter = TdbAdapter()
+        workload = Workload(adapter)
+        workload.setup()
+        counts = workload.run_experiment("release")
+        assert counts == FIGURE_10["release"]
+
+    def test_tdb_bind_counts(self):
+        adapter = TdbAdapter()
+        workload = Workload(adapter)
+        workload.setup()
+        counts = workload.run_experiment("bind")
+        assert counts == FIGURE_10["bind"]
+
+    def test_xdb_release_counts(self):
+        adapter = XdbAdapter()
+        workload = Workload(adapter)
+        workload.setup()
+        counts = workload.run_experiment("release")
+        assert counts == FIGURE_10["release"]
+
+    def test_same_seed_same_touches(self):
+        """Both adapters see the identical operation stream."""
+        tdb = Workload(TdbAdapter(), seed=3)
+        xdb = Workload(XdbAdapter(), seed=3)
+        tdb.setup()
+        xdb.setup()
+        tdb.run_experiment("release")
+        xdb.run_experiment("release")
+        assert tdb.adapter.op_counts == xdb.adapter.op_counts
+
+    def test_tdb_beats_xdb_on_modeled_commit_cost(self):
+        """Figure 11's shape: same workload, fewer flushes and bytes for
+        TDB (log-structured compact commits vs WAL + forced pages)."""
+        tdb = TdbAdapter()
+        wl = Workload(tdb)
+        wl.setup()
+        tdb_stats0 = tdb.platform.untrusted.stats.snapshot()
+        wl.run_experiment("release")
+        tdb_io = tdb.platform.untrusted.stats.delta(tdb_stats0)
+
+        xdb = XdbAdapter()
+        wl2 = Workload(xdb)
+        wl2.setup()
+        xdb_stats0 = xdb.store.stats.snapshot()
+        wl2.run_experiment("release")
+        xdb_io = xdb.store.stats.delta(xdb_stats0)
+
+        assert tdb_io.flushes < xdb_io.flushes
+        assert tdb_io.bytes_written < xdb_io.bytes_written

@@ -1,0 +1,83 @@
+"""Model-based tests for XDB's page B-tree (the baseline must be a
+correct database, or the Figure 11 comparison is meaningless)."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.platform import MemoryUntrustedStore
+from repro.xdb import BTree, Pager
+
+
+def keys():
+    return st.binary(min_size=1, max_size=24)
+
+
+def values():
+    return st.binary(max_size=64)
+
+
+class TestBtreeModel:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete", "get"]), keys(), values()
+            ),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_against_dict(self, ops):
+        pager = Pager(MemoryUntrustedStore(8 << 20))
+        pager.format()
+        tree = BTree.create(pager)
+        model = {}
+        for op, key, value in ops:
+            if op == "put":
+                tree.put(key, value)
+                model[key] = value
+            elif op == "delete":
+                existed = tree.delete(key)
+                assert existed == (key in model)
+                model.pop(key, None)
+            else:
+                assert tree.get(key) == model.get(key)
+        assert dict(tree.scan()) == model
+        got_keys = [key for key, _ in tree.scan()]
+        assert got_keys == sorted(model)
+
+    @given(
+        entries=st.dictionaries(keys(), values(), min_size=1, max_size=60),
+        low=keys(),
+        high=keys(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_range_scan_agrees(self, entries, low, high):
+        if low > high:
+            low, high = high, low
+        pager = Pager(MemoryUntrustedStore(8 << 20))
+        pager.format()
+        tree = BTree.create(pager)
+        for key, value in entries.items():
+            tree.put(key, value)
+        got = dict(tree.scan(low, high))
+        expected = {k: v for k, v in entries.items() if low <= k <= high}
+        assert got == expected
+
+    @given(entries=st.dictionaries(keys(), values(), min_size=30, max_size=120))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.data_too_large],
+    )
+    def test_persistence_through_commit(self, entries):
+        store = MemoryUntrustedStore(8 << 20)
+        pager = Pager(store)
+        pager.format()
+        tree = BTree.create(pager)
+        for key, value in entries.items():
+            tree.put(key, value)
+        pager.commit()
+        store.simulate_crash()
+        pager2 = Pager(store)
+        pager2.open()
+        tree2 = BTree(pager2, tree.root)
+        assert dict(tree2.scan()) == entries
