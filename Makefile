@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench report examples lint all
+.PHONY: install test test-fast bench bench-crypto report examples lint all
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,9 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-crypto:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.crypto_bench --out BENCH_crypto.json
 
 report:
 	$(PYTHON) -m repro.bench.report

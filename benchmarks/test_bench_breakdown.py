@@ -73,6 +73,8 @@ def test_figure12_module_breakdown(benchmark):
         )
     rows.append(("untrusted flushes", str(io.flushes), "96"))
     rows.append(("TR flushes", str(tr_writes), "19"))
+    for label in sorted(profiler.metrics):
+        rows.append((label, f"{profiler.metrics[label]:,.0f}", "n/a"))
     report("Figure 12 runtime analysis", rows)
 
     # the paper's headline shape claims:

@@ -25,6 +25,7 @@ class Profiler:
     def __init__(self) -> None:
         self.totals: Dict[str, float] = {}
         self.calls: Dict[str, int] = {}
+        self.metrics: Dict[str, float] = {}
         self._stack: List[List] = []  # [label, started_at]
 
     # -- activation ----------------------------------------------------------
@@ -59,6 +60,11 @@ class Profiler:
         if self._stack:
             self._stack[-1][1] = now  # resume the parent's clock
 
+    def add_metric(self, label: str, value: float) -> None:
+        """Accumulate a named counter (bytes encrypted, writes coalesced,
+        ...) alongside the timing totals."""
+        self.metrics[label] = self.metrics.get(label, 0) + value
+
     def report(self) -> Dict[str, float]:
         return dict(self.totals)
 
@@ -75,6 +81,13 @@ def profiled(label: str):
         yield
     finally:
         profiler.pop()
+
+
+def record_metric(label: str, value: float) -> None:
+    """Accumulate ``value`` on the active profiler's ``metrics``; a single
+    global check when no profiler is active, so hot paths stay cheap."""
+    if _active is not None:
+        _active.add_metric(label, value)
 
 
 def active_profiler() -> Optional[Profiler]:

@@ -12,12 +12,17 @@ serves two distinct roles:
   until the next checkpoint; the bottom-up search order guarantees the
   stale persistent descriptor is never consulted while a dirty one shadows
   it.  Dirty descriptors are therefore never evicted.
+
+A per-partition index (`ChunkId` sets keyed by partition id) makes
+``drop_partition`` proportional to that partition's entries rather than a
+scan of the whole cache — partition deallocation used to be O(cache size)
+even for empty partitions.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Set, Tuple
 
 from repro.chunkstore.descriptor import ChunkDescriptor
 from repro.chunkstore.ids import ChunkId
@@ -30,8 +35,27 @@ class DescriptorCache:
         self._max_clean = max_clean
         self._clean: "OrderedDict[ChunkId, ChunkDescriptor]" = OrderedDict()
         self._dirty: Dict[ChunkId, ChunkDescriptor] = {}
+        # every cached chunk id (clean or dirty), grouped by partition,
+        # so drop_partition never scans unrelated entries
+        self._by_partition: Dict[int, Set[ChunkId]] = {}
         self.hits = 0
         self.misses = 0
+
+    # -- partition index -----------------------------------------------------
+
+    def _index_add(self, chunk_id: ChunkId) -> None:
+        self._by_partition.setdefault(chunk_id.partition, set()).add(chunk_id)
+
+    def _index_discard(self, chunk_id: ChunkId) -> None:
+        if chunk_id in self._clean or chunk_id in self._dirty:
+            return  # still cached in the other role
+        ids = self._by_partition.get(chunk_id.partition)
+        if ids is not None:
+            ids.discard(chunk_id)
+            if not ids:
+                del self._by_partition[chunk_id.partition]
+
+    # -- lookups and inserts -------------------------------------------------
 
     def get(self, chunk_id: ChunkId) -> Optional[ChunkDescriptor]:
         if chunk_id in self._dirty:
@@ -50,25 +74,29 @@ class DescriptorCache:
         if chunk_id in self._dirty:
             return  # a dirty descriptor shadows any persistent state
         self._clean[chunk_id] = descriptor
-        self._clean.move_to_end(chunk_id)
+        self._index_add(chunk_id)
         while len(self._clean) > self._max_clean:
-            self._clean.popitem(last=False)
+            evicted, _ = self._clean.popitem(last=False)
+            self._index_discard(evicted)
 
     def put_dirty(self, chunk_id: ChunkId, descriptor: ChunkDescriptor) -> None:
         """Record a committed update; pinned until the next checkpoint."""
         self._clean.pop(chunk_id, None)
         self._dirty[chunk_id] = descriptor
+        self._index_add(chunk_id)
 
     def drop(self, chunk_id: ChunkId) -> None:
         self._clean.pop(chunk_id, None)
         self._dirty.pop(chunk_id, None)
+        self._index_discard(chunk_id)
 
     def drop_partition(self, partition: int) -> None:
         """Forget everything about a deallocated partition."""
-        for cid in [c for c in self._clean if c.partition == partition]:
-            del self._clean[cid]
-        for cid in [c for c in self._dirty if c.partition == partition]:
-            del self._dirty[cid]
+        for cid in self._by_partition.pop(partition, ()):
+            self._clean.pop(cid, None)
+            self._dirty.pop(cid, None)
+
+    # -- dirty management ----------------------------------------------------
 
     def dirty_count(self) -> int:
         return len(self._dirty)
@@ -82,8 +110,21 @@ class DescriptorCache:
             self._clean[chunk_id] = descriptor
         self._dirty.clear()
         while len(self._clean) > self._max_clean:
-            self._clean.popitem(last=False)
+            evicted, _ = self._clean.popitem(last=False)
+            self._index_discard(evicted)
 
     def clear(self) -> None:
         self._clean.clear()
         self._dirty.clear()
+        self._by_partition.clear()
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "clean_entries": len(self._clean),
+            "dirty_entries": len(self._dirty),
+            "partitions_indexed": len(self._by_partition),
+        }

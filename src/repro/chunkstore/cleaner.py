@@ -91,6 +91,7 @@ class Cleaner:
 
     def _clean_segment(self, segment: int) -> None:
         store = self.store
+        store.logbuf.seal()  # reading raw segment bytes below
         codec = store.codec
         segman = store.segman
         start = segman.segment_start(segment)

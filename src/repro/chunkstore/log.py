@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from enum import IntEnum
 from typing import List, Tuple
 
+from repro.bench.profiler import record_metric
 from repro.chunkstore.ids import ChunkId
 from repro.crypto.cipher import Cipher
 from repro.crypto.hashing import HashFunction
@@ -142,6 +143,9 @@ class LogCodec:
         hasher = body_hash.new()
         hasher.update(header_plain)
         hasher.update(body)
+        body_hash.counters.digests += 1
+        body_hash.counters.bytes_hashed += len(header_plain) + len(body)
+        record_metric("bytes hashed", len(header_plain) + len(body))
         return self.system_cipher.encrypt(header_plain) + body_ct, hasher.digest()
 
     def build_unnamed(self, kind: VersionKind, body: bytes) -> bytes:
@@ -158,6 +162,9 @@ class LogCodec:
         hasher = body_hash.new()
         hasher.update(header.pack())
         hasher.update(body)
+        body_hash.counters.digests += 1
+        body_hash.counters.bytes_hashed += HEADER_PLAIN_SIZE + len(body)
+        record_metric("bytes hashed", HEADER_PLAIN_SIZE + len(body))
         return hasher.digest()
 
     # -- parsing -------------------------------------------------------------

@@ -76,7 +76,7 @@ from repro.chunkstore.ops import (
     WritePartition,
 )
 from repro.chunkstore.partition import PartitionState, generate_partition_key
-from repro.chunkstore.segments import SegmentManager
+from repro.chunkstore.segments import LogWriteBuffer, SegmentManager
 from repro.chunkstore.validation import CounterValidation, DirectValidation
 from repro.crypto.mac import Mac
 from repro.crypto.registry import KEY_SIZES, make_cipher, make_hash
@@ -125,6 +125,7 @@ class ChunkStore:
             config.superblock_size, config.segment_size, platform.untrusted.size
         )
         self.cache = DescriptorCache(config.cache_size)
+        self.logbuf = LogWriteBuffer(platform.untrusted)
         self.partitions: Dict[int, PartitionState] = {}
         if config.validation_mode == "direct":
             self.validator = DirectValidation(platform.tamper_resistant, system_hash)
@@ -403,6 +404,7 @@ class ChunkStore:
 
         A tampered header can decrypt to arbitrary garbage, including
         absurd body sizes — those are tampering, not I/O errors."""
+        self.logbuf.seal()  # the location may sit in the pending span
         untrusted = self.platform.untrusted
         with profiled("untrusted store read"):
             header_ct = untrusted.read(location, self.codec.header_cipher_size)
@@ -510,19 +512,18 @@ class ChunkStore:
                 VersionKind.NEXT_SEGMENT, NextSegmentRecord(new_segment).encode()
             )
             location = segman.tail_location
-            with profiled("untrusted store write"):
-                self.platform.untrusted.write(location, jump)
+            self.logbuf.append(location, jump)
             self._note(jump, in_commit_set=False)
             segman.advance(len(jump))
             segman.jump_to(new_segment)
         location = segman.tail_location
-        with profiled("untrusted store write"):
-            self.platform.untrusted.write(location, version_bytes)
+        self.logbuf.append(location, version_bytes)
         self._note(version_bytes, in_commit_set)
         segman.advance(size)
         return location
 
     def _flush_untrusted(self) -> None:
+        self.logbuf.seal()
         with profiled("untrusted store write"):
             self.platform.untrusted.flush()
         if self.config.validation_mode == "counter":
@@ -906,6 +907,7 @@ class ChunkStore:
             record = self.validator.build_commit_record()
             version = self.codec.build_unnamed(VersionKind.COMMIT, record.encode())
             self._append_version(version, in_commit_set=False)
+            self.logbuf.seal()
             injector.point("commit.before_flush")
             if self.config.flush_every_commit:
                 self._flush_untrusted()
@@ -922,6 +924,7 @@ class ChunkStore:
                     self.validator.advance_tr(target)
                 injector.point("commit.after_tr")
         else:
+            self.logbuf.seal()
             injector.point("commit.before_flush")
             self._flush_untrusted()
             injector.point("commit.after_flush")
@@ -986,8 +989,7 @@ class ChunkStore:
             jump = self.codec.build_unnamed(
                 VersionKind.NEXT_SEGMENT, NextSegmentRecord(new_segment).encode()
             )
-            with profiled("untrusted store write"):
-                self.platform.untrusted.write(self.segman.tail_location, jump)
+            self.logbuf.append(self.segman.tail_location, jump)
             self._note(jump, in_commit_set=False)
             self.segman.advance(len(jump))
         self.segman.begin_residual(new_segment)
@@ -1291,6 +1293,43 @@ class ChunkStore:
 
     def live_bytes(self) -> int:
         return self.segman.live_total()
+
+    def stats(self) -> Dict[str, object]:
+        """Operational counters: crypto and hash byte tallies per algorithm,
+        descriptor-cache hit rates, and log write coalescing (§9.5.3)."""
+        with self._lock:
+            crypto: Dict[str, Dict[str, int]] = {}
+            hashing: Dict[str, Dict[str, int]] = {}
+
+            def merge(table, name, counters):
+                agg = table.setdefault(name, {})
+                counters.add_into(agg)
+
+            merge(crypto, self.codec.system_cipher.name, self.codec.system_cipher.counters)
+            merge(hashing, self.codec.system_hash.name, self.codec.system_hash.counters)
+            for state in self.partitions.values():
+                merge(crypto, state.cipher.name, state.cipher.counters)
+                merge(hashing, state.hash.name, state.hash.counters)
+            io = self.platform.untrusted.stats
+            return {
+                "crypto": crypto,
+                "hashing": hashing,
+                "cache": self.cache.stats(),
+                "log": {
+                    "appends": self.logbuf.appends,
+                    "writes_issued": self.logbuf.writes_issued,
+                    "writes_coalesced": self.logbuf.appends - self.logbuf.writes_issued,
+                    "bytes_appended": self.logbuf.bytes_appended,
+                },
+                "commits": self.commit_count_stat,
+                "untrusted": {
+                    "reads": io.reads,
+                    "bytes_read": io.bytes_read,
+                    "writes": io.writes,
+                    "bytes_written": io.bytes_written,
+                    "flushes": io.flushes,
+                },
+            }
 
     def data_ranks(self, pid: int) -> List[int]:
         """All committed-written data ranks of a partition."""

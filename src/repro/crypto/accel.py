@@ -1,0 +1,100 @@
+"""Optional OpenSSL-backed bulk CBC for DES and 3DES.
+
+When the host Python already ships the ``cryptography`` package (many
+distributions do), its OpenSSL bindings compute the exact same FIPS 46-3
+byte stream as our from-scratch implementation, only at C speed.  This
+module probes for it at import time and, when present, hands the DES/3DES
+``encrypt_cbc``/``decrypt_cbc`` bulk hooks an OpenSSL backend.
+
+Scope is deliberately narrow:
+
+* only the raw CBC core is delegated — IV generation, PKCS#7 padding, and
+  the IV-prefixed ciphertext layout stay in :mod:`repro.crypto.modes`, so
+  the on-disk format is byte-for-byte identical whichever backend runs;
+* XTEA and ctr-sha256 never route here (XTEA is not in OpenSSL; the
+  counter stream is already hashlib-speed);
+* nothing is installed or required: if the package is missing, or the
+  ``REPRO_NO_CRYPTO_ACCEL`` environment variable is set, every cipher
+  falls back to the int-native pure-Python bulk path with no loss of
+  functionality.
+
+Single DES is driven through OpenSSL's TripleDES with the key repeated
+three times (EDE with K1=K2=K3 *is* single DES); 16-byte two-key 3DES is
+normalized to 24 bytes (K1 ‖ K2 ‖ K1) before it reaches OpenSSL.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+_IMPORT_ERROR: Optional[str] = None
+
+try:
+    if os.environ.get("REPRO_NO_CRYPTO_ACCEL"):
+        raise ImportError("disabled by REPRO_NO_CRYPTO_ACCEL")
+    from cryptography.hazmat.primitives.ciphers import Cipher as _OsslCipher
+    from cryptography.hazmat.primitives.ciphers import modes as _ossl_modes
+
+    try:
+        # modern home of legacy algorithms (cryptography >= 43)
+        from cryptography.hazmat.decrepit.ciphers.algorithms import (
+            TripleDES as _OsslTripleDES,
+        )
+    except ImportError:
+        from cryptography.hazmat.primitives.ciphers.algorithms import (
+            TripleDES as _OsslTripleDES,
+        )
+except ImportError as exc:  # pragma: no cover - environment-dependent
+    _OsslCipher = None
+    _ossl_modes = None
+    _OsslTripleDES = None
+    _IMPORT_ERROR = str(exc)
+
+
+def available() -> bool:
+    """True when the OpenSSL backend can serve DES/3DES bulk CBC."""
+    return _OsslCipher is not None
+
+
+def unavailable_reason() -> Optional[str]:
+    return _IMPORT_ERROR
+
+
+class _OsslCbc:
+    """``encrypt_cbc``/``decrypt_cbc`` provider over one 24-byte 3DES key.
+
+    A fresh OpenSSL cipher context is built per call: CBC chaining state
+    must restart at the caller's IV each time, and context setup is a few
+    microseconds against a C-speed bulk pass.
+    """
+
+    def __init__(self, key24: bytes) -> None:
+        self._algorithm = _OsslTripleDES(key24)
+
+    def encrypt_cbc(self, iv: bytes, data: bytes) -> bytes:
+        enc = _OsslCipher(self._algorithm, _ossl_modes.CBC(iv)).encryptor()
+        return enc.update(data) + enc.finalize()
+
+    def decrypt_cbc(self, iv: bytes, data: bytes) -> bytes:
+        dec = _OsslCipher(self._algorithm, _ossl_modes.CBC(iv)).decryptor()
+        return dec.update(data) + dec.finalize()
+
+
+def cbc_backend(kind: str, key: bytes):
+    """An OpenSSL CBC backend for ``kind`` in {"des", "3des"}, or ``None``
+    when the backend is unavailable (caller keeps its Python bulk path)."""
+    if _OsslCipher is None:
+        return None
+    if kind == "des":
+        full = key * 3
+    elif kind == "3des":
+        if len(key) == 8:
+            full = key * 3
+        elif len(key) == 16:
+            full = key + key[:8]
+        else:
+            full = key
+    else:
+        return None
+    return _OsslCbc(full)

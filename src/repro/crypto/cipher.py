@@ -13,9 +13,25 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 
+from repro.crypto.counters import CipherCounters
+
 
 class BlockCipher(ABC):
-    """A raw block cipher over fixed-size blocks (ECB primitive)."""
+    """A raw block cipher over fixed-size blocks (ECB primitive).
+
+    Subclasses may additionally implement the *bulk CBC hooks*::
+
+        encrypt_cbc(iv, data) -> ciphertext   # data already padded
+        decrypt_cbc(iv, data) -> padded plaintext
+
+    operating on whole messages (a multiple of ``block_size``; the IV is
+    *not* included in either argument or result).  When the hooks exist,
+    :class:`~repro.crypto.modes.CbcCipher` dispatches to them instead of
+    its generic per-block loop; implementations keep state as integers
+    across the entire message, or delegate to an accelerated backend
+    (:mod:`repro.crypto.accel`).  A hook must produce byte-for-byte the
+    same output as the generic loop — the on-disk format depends on it.
+    """
 
     #: block size in bytes
     block_size: int = 8
@@ -34,6 +50,10 @@ class Cipher(ABC):
 
     #: registry name, stored in partition leaders
     name: str = "abstract"
+
+    def __init__(self) -> None:
+        #: payload-byte and call tallies (see ``ChunkStore.stats()``)
+        self.counters = CipherCounters()
 
     @abstractmethod
     def encrypt(self, plaintext: bytes) -> bytes:
@@ -64,12 +84,19 @@ class NullCipher(Cipher):
     def __init__(self, key: bytes = b"") -> None:
         # The key is accepted (and ignored) so the registry can treat all
         # ciphers uniformly.
+        super().__init__()
         del key
 
     def encrypt(self, plaintext: bytes) -> bytes:
+        counters = self.counters
+        counters.encrypt_calls += 1
+        counters.bytes_encrypted += len(plaintext)
         return bytes(plaintext)
 
     def decrypt(self, ciphertext: bytes) -> bytes:
+        counters = self.counters
+        counters.decrypt_calls += 1
+        counters.bytes_decrypted += len(ciphertext)
         return bytes(ciphertext)
 
     def ciphertext_size(self, plaintext_size: int) -> int:

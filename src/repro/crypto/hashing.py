@@ -15,12 +15,20 @@ from __future__ import annotations
 import hashlib
 from abc import ABC, abstractmethod
 
+from repro.crypto.counters import HashCounters
+
 
 class HashFunction(ABC):
     """A named collision-resistant hash function."""
 
     name: str = "abstract"
     digest_size: int = 0
+
+    def __init__(self) -> None:
+        #: byte/digest tallies — ``hash()`` updates them itself; callers
+        #: using the streaming ``new()`` interface (e.g. the log codec)
+        #: account for their own bytes
+        self.counters = HashCounters()
 
     @abstractmethod
     def new(self):
@@ -29,6 +37,8 @@ class HashFunction(ABC):
     def hash(self, data: bytes) -> bytes:
         hasher = self.new()
         hasher.update(data)
+        self.counters.digests += 1
+        self.counters.bytes_hashed += len(data)
         return hasher.digest()
 
 
