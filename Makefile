@@ -2,7 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-crypto report examples lint all
+# Adversary / differential harness knobs (see docs/TESTING.md):
+#   make adversary MODE=counter SEED=41 CLASS=image_replay   # replay one trial
+#   make adversary MODE=direct TRIALS=500                    # seeded sweep
+#   make differential MODE=counter SEED=7 OPS=50             # replay one seed
+#   make adversary-sweep                                     # nightly-depth run
+MODE ?= counter
+TRIALS ?= 250
+SEEDS ?= 20
+OPS ?= 50
+
+.PHONY: install test test-fast bench bench-crypto report examples lint all \
+	adversary adversary-sweep differential
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +32,32 @@ bench-crypto:
 
 report:
 	$(PYTHON) -m repro.bench.report
+
+adversary:
+ifdef SEED
+	PYTHONPATH=src $(PYTHON) -m repro.testing adversary --mode $(MODE) \
+		--seed $(SEED) $(if $(CLASS),--class $(CLASS))
+else
+	PYTHONPATH=src $(PYTHON) -m repro.testing adversary --mode $(MODE) \
+		--trials $(TRIALS)
+endif
+
+differential:
+ifdef SEED
+	PYTHONPATH=src $(PYTHON) -m repro.testing differential --mode $(MODE) \
+		--seed $(SEED) --ops $(OPS)
+else
+	PYTHONPATH=src $(PYTHON) -m repro.testing differential --mode $(MODE) \
+		--seeds $(SEEDS) --ops $(OPS)
+endif
+
+adversary-sweep:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_adversary.py \
+		tests/test_differential.py -q
+	PYTHONPATH=src $(PYTHON) -m repro.testing adversary --mode counter --trials 1000
+	PYTHONPATH=src $(PYTHON) -m repro.testing adversary --mode direct --trials 1000
+	PYTHONPATH=src $(PYTHON) -m repro.testing differential --mode counter --seeds 50
+	PYTHONPATH=src $(PYTHON) -m repro.testing differential --mode direct --seeds 50
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1324,10 +1324,12 @@ class ChunkStore:
                 "commits": self.commit_count_stat,
                 "untrusted": {
                     "reads": io.reads,
+                    "batched_reads": io.batched_reads,
                     "bytes_read": io.bytes_read,
                     "writes": io.writes,
                     "bytes_written": io.bytes_written,
                     "flushes": io.flushes,
+                    "flushed_bytes": io.flushed_bytes,
                 },
             }
 

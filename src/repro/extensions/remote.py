@@ -69,14 +69,8 @@ class RemoteUntrustedStore(UntrustedStore):
         if not extents:
             return []
         self.round_trips += 1
-        results = []
-        for offset, size in extents:
-            self.payload_bytes += size
-            self._check_range(offset, size)
-            self.stats.reads += 1
-            self.stats.bytes_read += size
-            results.append(self._image_read(offset, size))
-        return results
+        self.payload_bytes += sum(size for _, size in extents)
+        return super().read_many(extents)
 
     def write(self, offset: int, data: bytes) -> None:
         # writes are queued client-side; the flush ships them in one batch

@@ -46,6 +46,8 @@ class IOStats:
     bytes_written: int = 0
     flushes: int = 0
     flushed_bytes: int = 0
+    #: read_many batches issued (each counts as a single round trip, §10)
+    batched_reads: int = 0
 
     def reset(self) -> None:
         self.reads = 0
@@ -54,6 +56,7 @@ class IOStats:
         self.bytes_written = 0
         self.flushes = 0
         self.flushed_bytes = 0
+        self.batched_reads = 0
 
     def snapshot(self) -> "IOStats":
         return IOStats(
@@ -63,6 +66,7 @@ class IOStats:
             bytes_written=self.bytes_written,
             flushes=self.flushes,
             flushed_bytes=self.flushed_bytes,
+            batched_reads=self.batched_reads,
         )
 
     def delta(self, earlier: "IOStats") -> "IOStats":
@@ -73,6 +77,7 @@ class IOStats:
             bytes_written=self.bytes_written - earlier.bytes_written,
             flushes=self.flushes - earlier.flushes,
             flushed_bytes=self.flushed_bytes - earlier.flushed_bytes,
+            batched_reads=self.batched_reads - earlier.batched_reads,
         )
 
 
@@ -117,8 +122,24 @@ class UntrustedStore(ABC):
 
     def read_many(self, extents: List[Tuple[int, int]]) -> List[bytes]:
         """Batched read (for the §10 "untrusted storage on servers"
-        extension, where round-trips matter)."""
-        return [self.read(offset, size) for offset, size in extents]
+        extension, where round-trips matter).
+
+        The whole batch counts as *one* read round trip in
+        :class:`IOStats` (plus a ``batched_reads`` tally), so the remote-
+        store extension can measure round-trip savings against the
+        one-read-per-extent baseline."""
+        if not extents:
+            return []
+        results = []
+        total = 0
+        for offset, size in extents:
+            self._check_range(offset, size)
+            total += size
+            results.append(self._image_read(offset, size))
+        self.stats.reads += 1
+        self.stats.batched_reads += 1
+        self.stats.bytes_read += total
+        return results
 
     def write(self, offset: int, data: bytes) -> None:
         self._check_range(offset, len(data))
@@ -140,14 +161,16 @@ class UntrustedStore(ABC):
         pending = self._undo
         self._undo = []
         for index, record in enumerate(pending):
-            self.stats.flushed_bytes += record.new_len
             try:
                 self.injector.point("untrusted.flush.partial")
             except Exception:
                 # Everything from this record on is still volatile: put the
                 # un-flushed suffix back so simulate_crash reverts it.
+                # (The tally below intentionally hasn't happened yet:
+                # flushed_bytes only counts records that became durable.)
                 self._undo = pending[index:]
                 raise
+            self.stats.flushed_bytes += record.new_len
         self.injector.point("untrusted.flush.end")
 
     # -- crash simulation ----------------------------------------------------

@@ -1,0 +1,64 @@
+"""Correctness harnesses for the TDB reproduction.
+
+Three layers, all seeded and reproducible:
+
+* :mod:`repro.testing.adversary` — mutation engine enforcing the
+  detect-or-correct oracle over every attack class of §2/§4.8;
+* :mod:`repro.testing.differential` — model-based differential testing of
+  the chunk store against :mod:`repro.testing.model`, with seed replay and
+  prefix shrinking;
+* :mod:`repro.testing.sweep` — the shared discover-then-replay loop over
+  crash (and tamper) injection points.
+
+Run from the command line via ``python -m repro.testing`` (see
+``docs/TESTING.md`` and the ``adversary`` / ``differential`` Makefile
+targets).
+"""
+
+from repro.testing.adversary import (
+    DETECTED,
+    FOREIGN_ERROR,
+    HARMLESS,
+    SILENT_CORRUPTION,
+    Adversary,
+    Scenario,
+    SweepResult,
+    TrialReport,
+    apply_random_mutation,
+    build_scenario,
+    scenario_config,
+)
+from repro.testing.differential import (
+    DiffFailure,
+    DifferentialRunner,
+    Op,
+    op_value,
+)
+from repro.testing.model import ReferenceModel, diff_states, observe_store
+from repro.testing.snapshot import PlatformSnapshot
+from repro.testing.sweep import SweepDriver, SweepSite, sample_sites
+
+__all__ = [
+    "Adversary",
+    "Scenario",
+    "SweepResult",
+    "TrialReport",
+    "apply_random_mutation",
+    "build_scenario",
+    "scenario_config",
+    "HARMLESS",
+    "DETECTED",
+    "SILENT_CORRUPTION",
+    "FOREIGN_ERROR",
+    "DifferentialRunner",
+    "DiffFailure",
+    "Op",
+    "op_value",
+    "ReferenceModel",
+    "observe_store",
+    "diff_states",
+    "PlatformSnapshot",
+    "SweepDriver",
+    "SweepSite",
+    "sample_sites",
+]

@@ -1,0 +1,102 @@
+"""Command-line front end for the adversary and differential harnesses.
+
+Usage (see also the Makefile targets)::
+
+    python -m repro.testing adversary   [--mode counter] [--trials 64]
+                                        [--seed N] [--class NAME]
+    python -m repro.testing differential [--mode counter] [--seeds 20]
+                                        [--seed N] [--ops 50]
+
+Exit status is non-zero iff a harness failure (silent corruption, foreign
+exception, or store/model divergence) was found; each failure prints a
+copy-pasteable repro line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.testing.adversary import Adversary
+from repro.testing.differential import DifferentialRunner
+
+
+def _run_adversary(args: argparse.Namespace) -> int:
+    adversary = Adversary(mode=args.mode)
+    if args.seed is not None:
+        report = adversary.run_trial(args.seed, attack=args.attack_class)
+        print(
+            f"seed={report.seed} class={report.attack} "
+            f"outcome={report.outcome}"
+        )
+        print(f"  {report.detail}")
+        if report.failed:
+            print(f"repro: {report.repro_line(args.mode)}")
+            return 1
+        return 0
+    result = adversary.run(args.trials, base_seed=args.base_seed)
+    print(f"adversary sweep: mode={args.mode} trials={len(result.reports)}")
+    for attack, row in sorted(result.by_class().items()):
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(row.items()))
+        print(f"  {attack:24s} {summary}")
+    if result.failures:
+        print(f"{len(result.failures)} FAILURE(S):")
+        for report in result.failures:
+            print(f"  {report.outcome}: {report.detail}")
+            print(f"  repro: {report.repro_line(args.mode)}")
+        return 1
+    print("oracle held: every read returned committed bytes or raised "
+          "TamperDetectedError")
+    return 0
+
+
+def _run_differential(args: argparse.Namespace) -> int:
+    runner = DifferentialRunner(mode=args.mode, num_ops=args.ops)
+    seeds = (
+        [args.seed]
+        if args.seed is not None
+        else range(args.base_seed, args.base_seed + args.seeds)
+    )
+    failures = runner.run(seeds)
+    total = len(list(seeds))
+    print(
+        f"differential: mode={args.mode} seeds={total} "
+        f"ops/seed={args.ops} failures={len(failures)}"
+    )
+    for failure in failures:
+        shrunk = runner.shrink(failure)
+        print(shrunk.describe())
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.testing")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    adv = sub.add_parser("adversary", help="seeded mutation sweep")
+    adv.add_argument("--mode", default="counter",
+                     choices=["counter", "direct"])
+    adv.add_argument("--trials", type=int, default=64)
+    adv.add_argument("--base-seed", type=int, default=0)
+    adv.add_argument("--seed", type=int, default=None,
+                     help="replay a single trial seed")
+    adv.add_argument("--class", dest="attack_class", default=None,
+                     help="pin the attack class when replaying a seed")
+
+    diff = sub.add_parser("differential", help="model-based differential run")
+    diff.add_argument("--mode", default="counter",
+                      choices=["counter", "direct"])
+    diff.add_argument("--seeds", type=int, default=20)
+    diff.add_argument("--base-seed", type=int, default=0)
+    diff.add_argument("--seed", type=int, default=None,
+                      help="replay a single sequence seed")
+    diff.add_argument("--ops", type=int, default=50)
+
+    args = parser.parse_args(argv)
+    if args.command == "adversary":
+        return _run_adversary(args)
+    return _run_differential(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

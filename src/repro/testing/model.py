@@ -1,0 +1,133 @@
+"""A plain in-memory reference model of the chunk store's visible state.
+
+The model implements the *specification* of §4–5 — named chunks grouped in
+partitions, atomic commits, copy-on-write partition snapshots, cascading
+partition deallocation — with none of the machinery (no log, no Merkle
+tree, no crypto, no cleaning).  The differential runner drives identical
+operation sequences against the model and the real
+:class:`~repro.chunkstore.store.ChunkStore` and requires their visible
+states to agree after every commit and after every crash + recovery.
+
+Visible state is ``{pid: {rank: bytes}}``: which partitions exist, which
+data ranks are written in each, and the exact bytes each one reads back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class ModelPartition:
+    """One partition: its written chunks plus the copy relationships that
+    drive cascading deallocation (§5.1)."""
+
+    chunks: Dict[int, bytes] = field(default_factory=dict)
+    copies: List[int] = field(default_factory=list)
+    copy_of: Optional[int] = None
+
+
+class ReferenceModel:
+    """The executable specification the real store is compared against."""
+
+    def __init__(self) -> None:
+        self.partitions: Dict[int, ModelPartition] = {}
+
+    # -- operations (mirroring repro.chunkstore.ops) -------------------------
+
+    def write_partition(self, pid: int) -> None:
+        """Create ``pid`` empty (reset semantics if it already exists:
+        contents cleared, copy relationships preserved)."""
+        existing = self.partitions.get(pid)
+        part = ModelPartition()
+        if existing is not None:
+            part.copies = list(existing.copies)
+            part.copy_of = existing.copy_of
+        self.partitions[pid] = part
+
+    def copy_partition(self, pid: int, source: int) -> None:
+        src = self.partitions[source]
+        self.partitions[pid] = ModelPartition(
+            chunks=dict(src.chunks), copy_of=source
+        )
+        src.copies.append(pid)
+
+    def deallocate_partition(self, pid: int) -> List[int]:
+        """Deallocate ``pid`` and all transitive copies; returns the
+        family actually removed."""
+        family: List[int] = []
+        queue = [pid]
+        seen: Set[int] = set()
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            family.append(current)
+            part = self.partitions.get(current)
+            if part is not None:
+                queue.extend(part.copies)
+        for member in family:
+            part = self.partitions.pop(member, None)
+            if part is None:
+                continue
+            parent = part.copy_of
+            if parent is not None and parent not in seen:
+                parent_part = self.partitions.get(parent)
+                if parent_part is not None and member in parent_part.copies:
+                    parent_part.copies.remove(member)
+        return family
+
+    def write_chunk(self, pid: int, rank: int, data: bytes) -> None:
+        self.partitions[pid].chunks[rank] = bytes(data)
+
+    def deallocate_chunk(self, pid: int, rank: int) -> None:
+        self.partitions[pid].chunks.pop(rank, None)
+
+    # -- visible state --------------------------------------------------------
+
+    def state(self) -> Dict[int, Dict[int, bytes]]:
+        return {
+            pid: dict(part.chunks) for pid, part in self.partitions.items()
+        }
+
+
+def observe_store(store) -> Dict[int, Dict[int, bytes]]:
+    """The real store's visible state, read entirely through the validated
+    read path (so tampering surfaces as :class:`TamperDetectedError`, never
+    as a bogus observation)."""
+    state: Dict[int, Dict[int, bytes]] = {}
+    for pid in store.partition_ids():
+        state[pid] = {
+            rank: store.read_chunk(pid, rank) for rank in store.data_ranks(pid)
+        }
+    return state
+
+
+def diff_states(
+    expected: Dict[int, Dict[int, bytes]],
+    actual: Dict[int, Dict[int, bytes]],
+) -> List[str]:
+    """Human-readable differences between two visible states (empty list
+    means they agree)."""
+    problems: List[str] = []
+    for pid in sorted(set(expected) | set(actual)):
+        if pid not in actual:
+            problems.append(f"partition {pid} missing from store")
+            continue
+        if pid not in expected:
+            problems.append(f"partition {pid} unexpectedly present in store")
+            continue
+        exp, act = expected[pid], actual[pid]
+        for rank in sorted(set(exp) | set(act)):
+            if rank not in act:
+                problems.append(f"chunk {pid}:{rank} missing from store")
+            elif rank not in exp:
+                problems.append(f"chunk {pid}:{rank} unexpectedly written")
+            elif exp[rank] != act[rank]:
+                problems.append(
+                    f"chunk {pid}:{rank} reads {act[rank]!r}, "
+                    f"expected {exp[rank]!r}"
+                )
+    return problems

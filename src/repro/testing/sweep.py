@@ -1,0 +1,104 @@
+"""Discover-then-replay sweeps over crash and tamper points.
+
+The crash-everywhere argument (§2.2) has two halves: *find* every
+instrumentation point a workload passes through, then *replay* the
+workload once per (point, occurrence) site with a fail-stop crash injected
+there — optionally tampering with the untrusted store while the system is
+down — and check an invariant after recovery.  This module is the shared
+loop; ``tests/test_crash_sweep.py`` uses it for pure crash atomicity, and
+the :class:`~repro.testing.adversary.Adversary` uses the same site
+discovery for its crash-raced tampering class, so crash points and tamper
+points are enumerated by one harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import CrashError
+
+
+@dataclass(frozen=True)
+class SweepSite:
+    """One crash location: the ``occurrence``-th hit of ``point``."""
+
+    point: str
+    occurrence: int
+
+    def __str__(self) -> str:
+        return f"{self.point}#{self.occurrence}"
+
+
+def sample_sites(
+    points: Dict[str, int], samples_per_point: int = 3
+) -> List[SweepSite]:
+    """Pick up to ``samples_per_point`` occurrences of every discovered
+    point: always the first and last, plus evenly spaced interior ones."""
+    sites: List[SweepSite] = []
+    for point, occurrences in sorted(points.items()):
+        if occurrences <= samples_per_point:
+            picks = range(occurrences)
+        else:
+            step = (occurrences - 1) / (samples_per_point - 1)
+            picks = sorted({round(i * step) for i in range(samples_per_point)})
+        for occurrence in picks:
+            sites.append(SweepSite(point, occurrence))
+    return sites
+
+
+class SweepDriver:
+    """Generic discover-then-replay loop.
+
+    ``build()`` provisions a fresh scenario environment (any object with a
+    ``platform`` attribute).  ``workload(env)`` runs the scripted
+    operations, recording its progress on ``env``; a :class:`CrashError`
+    raised by the armed injector must propagate out of it.
+    """
+
+    def __init__(self, build: Callable[[], object]) -> None:
+        self.build = build
+
+    def discover(self, workload: Callable[[object], None]) -> Dict[str, int]:
+        """Run ``workload`` once, un-crashed, and return every injection
+        point it passed through with its occurrence count."""
+        env = self.build()
+        env.platform.injector.counts.clear()
+        workload(env)
+        return dict(env.platform.injector.counts)
+
+    def sweep(
+        self,
+        workload: Callable[[object], None],
+        check: Callable[[object, SweepSite], None],
+        samples_per_point: int = 3,
+        tamper: Optional[Callable[[object, SweepSite], None]] = None,
+        sites: Optional[List[SweepSite]] = None,
+    ) -> List[SweepSite]:
+        """Replay ``workload`` once per site, crashing there.
+
+        After each crash, ``tamper`` (if given) may mutate the downed
+        platform's untrusted store, then ``check(env, site)`` verifies the
+        recovery invariant — it is responsible for rebooting/reopening.
+        Returns the sites where a crash actually fired (arming can land
+        past the end of the workload when occurrence sampling overshoots).
+        """
+        if sites is None:
+            sites = sample_sites(self.discover(workload), samples_per_point)
+        crashed_sites: List[SweepSite] = []
+        for site in sites:
+            env = self.build()
+            env.platform.injector.arm(site.point, countdown=site.occurrence)
+            try:
+                workload(env)
+                crashed = False
+            except CrashError:
+                crashed = True
+            env.platform.injector.disarm()
+            if not crashed:
+                continue
+            if tamper is not None:
+                tamper(env, site)
+            check(env, site)
+            crashed_sites.append(site)
+        return crashed_sites

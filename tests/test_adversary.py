@@ -1,0 +1,141 @@
+"""Adversarial tamper sweep: the detect-or-correct oracle under seeded
+mutation.
+
+The quick sweep (tier 1) runs 250 trials per validation mode — 500 seeded
+mutations total, round-robin across all eight attack classes — and
+requires zero silent corruptions and zero non-TDB exceptions.  The
+slow-marked sweep quadruples the trial count for nightly runs.
+
+Any failure prints a ``make adversary ...`` line that replays the exact
+seed.
+"""
+
+import random
+
+import pytest
+
+from repro.testing.adversary import (
+    DETECTED,
+    FOREIGN_ERROR,
+    HARMLESS,
+    SILENT_CORRUPTION,
+    Adversary,
+    build_scenario,
+)
+
+MODES = ["counter", "direct"]
+
+
+@pytest.fixture(scope="module")
+def adversaries():
+    """One scenario build per mode, shared by every test in the module
+    (trials restore from the snapshot, so sharing is safe)."""
+    return {mode: Adversary(mode) for mode in MODES}
+
+
+def _assert_no_failures(result):
+    lines = [
+        f"{r.outcome}: seed={r.seed} {r.detail}\n  repro: "
+        f"{r.repro_line(result.mode)}"
+        for r in result.failures
+    ]
+    assert not result.failures, (
+        f"{len(lines)} oracle violation(s) in mode={result.mode}:\n"
+        + "\n".join(lines)
+    )
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_adversary_sweep(adversaries, mode):
+    """≥250 seeded mutations per mode (500 total across the
+    parametrization), every attack class exercised, oracle never
+    violated."""
+    result = adversaries[mode].run(250)
+    _assert_no_failures(result)
+    assert set(result.classes_exercised()) == set(Adversary.CLASSES)
+    outcomes = result.outcomes()
+    assert outcomes.get(SILENT_CORRUPTION, 0) == 0
+    assert outcomes.get(FOREIGN_ERROR, 0) == 0
+    # sanity: the sweep is not vacuous — plenty of mutations actually bit
+    assert outcomes.get(DETECTED, 0) >= 50
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_image_replay_always_detected(adversaries, mode):
+    """Whole-image replay of a stale-but-authentic snapshot is the §2.1
+    attack; with Δut=1 and every snapshot >1 commit stale, detection is
+    mandatory, not merely permitted."""
+    adversary = adversaries[mode]
+    for seed in range(20):
+        report = adversary.run_trial(seed, attack="image_replay")
+        assert report.outcome == DETECTED, (
+            f"image replay went undetected: {report.detail}\n"
+            f"repro: {report.repro_line(mode)}"
+        )
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_torn_race_atomicity(adversaries, mode):
+    """The flush-to-TR-update window: the raced commit may appear or
+    vanish atomically, but never corrupt and never leak a non-TDB error."""
+    adversary = adversaries[mode]
+    for seed in range(24):
+        report = adversary.run_trial(seed, attack="torn_race")
+        assert report.outcome in (HARMLESS, DETECTED), (
+            f"torn race violated atomicity: {report.detail}\n"
+            f"repro: {report.repro_line(mode)}"
+        )
+
+
+def test_trials_are_reproducible(adversaries):
+    """A seed names one trial: same attack, same outcome, same detail."""
+    adversary = adversaries["counter"]
+    for seed in (3, 17, 42):
+        first = adversary.run_trial(seed)
+        again = adversary.run_trial(seed)
+        assert first == again
+
+
+def test_trials_leave_scenario_untouched(adversaries):
+    """Each trial mutates a restored copy, never the frozen snapshot."""
+    adversary = adversaries["counter"]
+    image_before = adversary.scenario.final.image
+    adversary.run(16)
+    assert adversary.scenario.final.image == image_before
+
+
+def test_scenario_covers_attack_surface():
+    """The frozen scenario has the structure the taxonomy needs: several
+    partitions with distinct crypto, stale snapshots, known extents."""
+    scenario = build_scenario("counter")
+    assert len(scenario.pids) >= 3
+    assert len(scenario.stale_images) >= 2
+    assert len(scenario.extents) >= 10
+    # cross-partition splices need extents in at least two partitions
+    assert len({pid for pid, _ in scenario.extents}) >= 3
+    # replay fodder must differ from the final image
+    for stale in scenario.stale_images:
+        assert stale != scenario.final.image
+
+
+def test_repro_line_format(adversaries):
+    report = adversaries["counter"].run_trial(5)
+    line = report.repro_line("counter")
+    assert line == f"make adversary MODE=counter SEED=5 CLASS={report.attack}"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mode", MODES)
+def test_adversary_sweep_deep(adversaries, mode):
+    """Nightly: 1000 trials per mode, plus per-class pinned sweeps so the
+    round-robin can't starve a class of unusual seeds."""
+    result = adversaries[mode].run(1000)
+    _assert_no_failures(result)
+    adversary = adversaries[mode]
+    rng = random.Random(0xC0FFEE)
+    for attack in Adversary.CLASSES:
+        for _ in range(25):
+            report = adversary.run_trial(rng.randrange(1 << 30), attack=attack)
+            assert not report.failed, (
+                f"{report.detail}\nrepro: {report.repro_line(mode)}"
+            )

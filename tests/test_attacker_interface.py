@@ -1,0 +1,181 @@
+"""The untrusted store's accounting and attacker API contracts.
+
+Three groups:
+
+* flush accounting — ``flushed_bytes`` counts only records that actually
+  became durable, even when a crash tears the flush partway through;
+* batched reads — ``read_many`` is one round trip in :class:`IOStats`;
+* attacker-interface properties — tampering is invisible to the trusted
+  side's accounting and crash machinery (no stats, no journal effects),
+  and ``simulate_crash`` after ``tamper_replay`` is a no-op.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CrashError
+from repro.platform.crash import CrashInjector
+from repro.platform.untrusted import MemoryUntrustedStore
+
+SIZE = 64 * 1024
+
+
+def make_store():
+    return MemoryUntrustedStore(SIZE, CrashInjector())
+
+
+# -- flush accounting ---------------------------------------------------------
+
+
+def test_flushed_bytes_counts_full_flush():
+    store = make_store()
+    store.write(0, b"a" * 100)
+    store.write(200, b"b" * 50)
+    store.flush()
+    assert store.stats.flushed_bytes == 150
+    assert store.stats.flushes == 1
+
+
+@pytest.mark.parametrize("survivors", [0, 1, 2])
+def test_flushed_bytes_not_counted_past_torn_flush(survivors):
+    """Regression: the tally used to be incremented *before* the
+    ``untrusted.flush.partial`` crash point, so a torn flush counted the
+    record that never became durable."""
+    store = make_store()
+    lengths = [100, 50, 75]
+    for i, length in enumerate(lengths):
+        store.write(i * 1000, bytes([i]) * length)
+    store.injector.arm("untrusted.flush.partial", countdown=survivors)
+    with pytest.raises(CrashError):
+        store.flush()
+    store.injector.disarm()
+    # only the records the flush got past are durable — and tallied
+    assert store.stats.flushed_bytes == sum(lengths[:survivors])
+    # the un-flushed suffix is still journalled, so a crash reverts it
+    store.simulate_crash()
+    for i, length in enumerate(lengths):
+        data = store.tamper_read(i * 1000, length)
+        if i < survivors:
+            assert data == bytes([i]) * length
+        else:
+            assert data == bytes(length)
+
+
+def test_torn_flush_then_reflush_tallies_remainder():
+    store = make_store()
+    store.write(0, b"x" * 100)
+    store.write(500, b"y" * 60)
+    store.injector.arm("untrusted.flush.partial", countdown=1)
+    with pytest.raises(CrashError):
+        store.flush()
+    store.injector.disarm()
+    assert store.stats.flushed_bytes == 100
+    store.flush()  # the journalled suffix flushes now
+    assert store.stats.flushed_bytes == 160
+
+
+# -- batched reads ------------------------------------------------------------
+
+
+def test_read_many_is_one_round_trip():
+    store = make_store()
+    store.write(0, b"a" * 128)
+    store.write(1024, b"b" * 256)
+    store.flush()
+    store.stats.reset()
+    results = store.read_many([(0, 128), (1024, 256), (4096, 16)])
+    assert results[0] == b"a" * 128
+    assert results[1] == b"b" * 256
+    assert results[2] == bytes(16)
+    assert store.stats.reads == 1
+    assert store.stats.batched_reads == 1
+    assert store.stats.bytes_read == 128 + 256 + 16
+
+
+def test_read_many_empty_batch_costs_nothing():
+    store = make_store()
+    assert store.read_many([]) == []
+    assert store.stats.reads == 0
+    assert store.stats.batched_reads == 0
+    assert store.stats.bytes_read == 0
+
+
+def test_read_many_matches_single_reads():
+    store = make_store()
+    store.write(100, bytes(range(200)) + bytes(56))
+    store.flush()
+    extents = [(100, 64), (164, 64), (5000, 32)]
+    batched = store.read_many(extents)
+    assert batched == [store.read(o, s) for o, s in extents]
+
+
+# -- attacker-interface properties --------------------------------------------
+
+
+extent_strategy = st.tuples(
+    st.integers(0, SIZE - 1), st.integers(1, 2048)
+).map(lambda t: (t[0], min(t[1], SIZE - t[0])))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    writes=st.lists(extent_strategy, min_size=0, max_size=8),
+    tampers=st.lists(
+        st.tuples(extent_strategy, st.binary(min_size=1, max_size=64)),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_tamper_write_invisible_to_accounting(writes, tampers):
+    """tamper_write touches neither IOStats nor the undo journal: trusted
+    crash-recovery behaviour is the same with or without the attacker."""
+    store = make_store()
+    for offset, size in writes:
+        store.write(offset, b"\xaa" * size)
+    stats_before = store.stats.snapshot()
+    journal_before = [
+        (r.offset, r.old_bytes, r.new_len) for r in store._undo
+    ]
+    for (offset, size), payload in tampers:
+        store.tamper_write(offset, payload[:size] or payload[:1])
+    assert store.stats.delta(stats_before) == type(store.stats)()
+    assert [
+        (r.offset, r.old_bytes, r.new_len) for r in store._undo
+    ] == journal_before
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    writes=st.lists(extent_strategy, min_size=0, max_size=8),
+    flush_first=st.booleans(),
+)
+def test_tamper_replay_then_crash_is_noop(writes, flush_first):
+    """tamper_replay installs the image verbatim and empties the journal,
+    so a subsequent simulate_crash changes nothing — a replayed image has
+    no 'un-flushed writes' to lose.  IOStats are untouched throughout."""
+    store = make_store()
+    for i, (offset, size) in enumerate(writes):
+        store.write(offset, bytes([i + 1]) * size)
+    if flush_first:
+        store.flush()
+    saved = store.tamper_image()
+    for offset, size in writes:  # diverge from the saved image
+        store.write(offset, b"\xff" * size)
+    stats_before = store.stats.snapshot()
+    store.tamper_replay(saved)
+    assert store.stats.delta(stats_before) == type(store.stats)()
+    assert store._undo == []
+    image_after_replay = store.tamper_image()
+    store.simulate_crash()
+    assert store.tamper_image() == image_after_replay == saved
+
+
+def test_tamper_read_no_accounting():
+    store = make_store()
+    store.write(0, b"z" * 64)
+    store.flush()
+    stats_before = store.stats.snapshot()
+    assert store.tamper_read(0, 64) == b"z" * 64
+    assert store.tamper_image()[:64] == b"z" * 64
+    assert store.stats.delta(stats_before) == type(store.stats)()

@@ -9,26 +9,42 @@ injection point it passes through, then re-run it crashing at each
     all; the store remains fully usable afterwards.
 
 This is the closing argument for crash atomicity (§2.2): not just chosen
-crash points, but all of them.
+crash points, but all of them.  The discover-then-replay loop itself
+lives in :class:`repro.testing.sweep.SweepDriver`, shared with the
+adversary harness so crash points and tamper points are enumerated the
+same way.
 """
 
 import pytest
 
 from repro.chunkstore import ChunkStore, ops
-from repro.errors import CrashError
+from repro.testing.sweep import SweepDriver
 from tests.conftest import make_config, make_platform
 
 MODES = ["counter", "direct"]
 
 
-def scripted_run(platform, store, pid, crash_at=None):
-    """The workload: returns the map of committed state at each step.
+class SweepEnv:
+    """One provisioned store per sweep site, plus the workload's progress
+    record (consumed by the post-crash check)."""
 
-    If a crash fires, returns the state as of the last *completed* step
-    plus the step that was in flight (for the atomicity check).
-    """
-    committed = {}
-    in_flight = None
+    def __init__(self, mode):
+        self.platform = make_platform(size=2 * 1024 * 1024)
+        self.store = ChunkStore.format(
+            self.platform, make_config(validation_mode=mode, segment_size=8 * 1024)
+        )
+        self.pid = self.store.allocate_partition()
+        self.store.commit(
+            [ops.WritePartition(self.pid, cipher_name="ctr-sha256", hash_name="sha1")]
+        )
+        self.committed = {}
+        self.in_flight = None
+
+
+def scripted_run(env):
+    """The workload: records committed state on ``env`` as it goes; an
+    injected :class:`CrashError` propagates with ``env.in_flight`` still
+    set to the interrupted step."""
     steps = []
     # step list: (kind, rank, data)
     for i in range(4):
@@ -40,91 +56,73 @@ def scripted_run(platform, store, pid, crash_at=None):
     steps.append(("clean", None, None))
     steps.append(("write", 0, b"v0-final"))
 
-    try:
-        for kind, rank, data in steps:
-            if kind == "write":
-                in_flight = ("write", rank, data)
-                state = store.partitions[pid]
-                if not (
-                    rank in state.pending_ranks
-                    or state.is_committed_written(rank)
-                ):
-                    state.allocate_specific(rank)
-                store.commit([ops.WriteChunk(pid, rank, data)])
-                committed[rank] = data
-            elif kind == "dealloc":
-                in_flight = ("dealloc", rank, None)
-                store.commit([ops.DeallocateChunk(pid, rank)])
-                committed.pop(rank, None)
-            elif kind == "checkpoint":
-                in_flight = ("checkpoint", None, None)
-                store.checkpoint()
-            elif kind == "clean":
-                in_flight = ("clean", None, None)
-                store.clean(max_segments=2)
-            in_flight = None
-    except CrashError:
-        return committed, in_flight, True
-    return committed, in_flight, False
+    store, pid = env.store, env.pid
+    for kind, rank, data in steps:
+        env.in_flight = (kind, rank, data)
+        if kind == "write":
+            state = store.partitions[pid]
+            if not (
+                rank in state.pending_ranks
+                or state.is_committed_written(rank)
+            ):
+                state.allocate_specific(rank)
+            store.commit([ops.WriteChunk(pid, rank, data)])
+            env.committed[rank] = data
+        elif kind == "dealloc":
+            store.commit([ops.DeallocateChunk(pid, rank)])
+            env.committed.pop(rank, None)
+        elif kind == "checkpoint":
+            store.checkpoint()
+        elif kind == "clean":
+            store.clean(max_segments=2)
+        env.in_flight = None
 
 
-def discover_points(mode):
-    platform = make_platform(size=2 * 1024 * 1024)
-    store = ChunkStore.format(
-        platform, make_config(validation_mode=mode, segment_size=8 * 1024)
-    )
-    pid = store.allocate_partition()
-    store.commit([ops.WritePartition(pid, cipher_name="ctr-sha256", hash_name="sha1")])
-    platform.injector.counts.clear()
-    scripted_run(platform, store, pid)
-    return dict(platform.injector.counts)
+def check_recovery(env, site):
+    """The §2.2 invariant, verified on the rebooted platform."""
+    pid, committed, in_flight = env.pid, env.committed, env.in_flight
+    env.platform.reboot()
+    reopened = ChunkStore.open(env.platform)
+    # 1) completed operations are durable
+    for rank, value in committed.items():
+        got = reopened.read_chunk(pid, rank)
+        # the in-flight op may legitimately have committed too
+        if in_flight and in_flight[0] == "write" and in_flight[1] == rank:
+            assert got in (value, in_flight[2]), site
+        else:
+            assert got == value, (site, rank)
+    # 2) the in-flight operation was atomic
+    if in_flight and in_flight[0] == "write":
+        rank = in_flight[1]
+        if rank not in committed:
+            try:
+                got = reopened.read_chunk(pid, rank)
+                assert got == in_flight[2], site
+            except Exception:
+                pass  # not committed: equally fine
+    # 3) the store still works end-to-end
+    state = reopened.partitions[pid]
+    state.allocate_specific(9)
+    reopened.commit([ops.WriteChunk(pid, 9, b"post-crash-probe")])
+    assert reopened.read_chunk(pid, 9) == b"post-crash-probe"
 
 
 @pytest.mark.parametrize("mode", MODES)
 def test_crash_at_every_point(mode):
-    points = discover_points(mode)
+    driver = SweepDriver(lambda: SweepEnv(mode))
+    points = driver.discover(scripted_run)
     assert points, "the workload must traverse injection points"
-    tested = 0
-    for point, occurrences in sorted(points.items()):
-        # crash at the first, a middle, and the last occurrence of each point
-        samples = sorted({0, occurrences // 2, occurrences - 1})
-        for occurrence in samples:
-            platform = make_platform(size=2 * 1024 * 1024)
-            store = ChunkStore.format(
-                platform, make_config(validation_mode=mode, segment_size=8 * 1024)
-            )
-            pid = store.allocate_partition()
-            store.commit(
-                [ops.WritePartition(pid, cipher_name="ctr-sha256", hash_name="sha1")]
-            )
-            platform.injector.arm(point, countdown=occurrence)
-            committed, in_flight, crashed = scripted_run(platform, store, pid)
-            platform.injector.disarm()
-            if not crashed:
-                continue  # the arming landed after the workload finished
-            tested += 1
-            platform.reboot()
-            reopened = ChunkStore.open(platform)
-            # 1) completed operations are durable
-            for rank, value in committed.items():
-                got = reopened.read_chunk(pid, rank)
-                # the in-flight op may legitimately have committed too
-                if in_flight and in_flight[0] == "write" and in_flight[1] == rank:
-                    assert got in (value, in_flight[2]), (point, occurrence)
-                else:
-                    assert got == value, (point, occurrence, rank)
-            # 2) the in-flight operation was atomic
-            if in_flight and in_flight[0] == "write":
-                rank = in_flight[1]
-                if rank not in committed:
-                    try:
-                        got = reopened.read_chunk(pid, rank)
-                        assert got == in_flight[2], (point, occurrence)
-                    except Exception:
-                        pass  # not committed: equally fine
-            # 3) the store still works end-to-end
-            state = reopened.partitions[pid]
-            state.allocate_specific(9)
-            reopened.commit([ops.WriteChunk(pid, 9, b"post-crash-probe")])
-            assert reopened.read_chunk(pid, 9) == b"post-crash-probe"
-    assert tested >= 8, f"sweep only exercised {tested} crash sites"
+    crashed = driver.sweep(scripted_run, check_recovery, samples_per_point=3)
+    assert len(crashed) >= 8, f"sweep only exercised {len(crashed)} crash sites"
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_sweep_discovery_matches_legacy_enumeration(mode):
+    """The shared driver discovers the same point set a hand-rolled
+    discovery pass does (guards the refactor onto SweepDriver)."""
+    driver = SweepDriver(lambda: SweepEnv(mode))
+    points = driver.discover(scripted_run)
+    env = SweepEnv(mode)
+    env.platform.injector.counts.clear()
+    scripted_run(env)
+    assert points == dict(env.platform.injector.counts)
