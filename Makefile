@@ -2,18 +2,21 @@
 
 PYTHON ?= python
 
-# Adversary / differential harness knobs (see docs/TESTING.md):
+# Adversary / differential / fault harness knobs (see docs/TESTING.md):
 #   make adversary MODE=counter SEED=41 CLASS=image_replay   # replay one trial
 #   make adversary MODE=direct TRIALS=500                    # seeded sweep
 #   make differential MODE=counter SEED=7 OPS=50             # replay one seed
+#   make fault-sweep MODE=counter SEED=12                    # replay one trial
+#   make fault-sweep FAULT_TRIALS=500                        # deeper sweep
 #   make adversary-sweep                                     # nightly-depth run
 MODE ?= counter
 TRIALS ?= 250
 SEEDS ?= 20
 OPS ?= 50
+FAULT_TRIALS ?= 150
 
 .PHONY: install test test-fast bench bench-crypto report examples lint all \
-	adversary adversary-sweep differential
+	adversary adversary-sweep differential fault-sweep
 
 install:
 	$(PYTHON) setup.py develop
@@ -51,6 +54,19 @@ else
 		--seeds $(SEEDS) --ops $(OPS)
 endif
 
+# Seeded transient/permanent I/O fault-tolerance sweep (both validation
+# modes by default; pin one with MODE and replay a trial with SEED).
+fault-sweep:
+ifdef SEED
+	PYTHONPATH=src $(PYTHON) -m repro.testing faults --mode $(MODE) \
+		--seed $(SEED) $(if $(POINT),--point $(POINT)) $(if $(RATE),--rate $(RATE))
+else
+	PYTHONPATH=src $(PYTHON) -m repro.testing faults --mode counter \
+		--trials $(FAULT_TRIALS) --crash-sites
+	PYTHONPATH=src $(PYTHON) -m repro.testing faults --mode direct \
+		--trials $(FAULT_TRIALS) --crash-sites
+endif
+
 adversary-sweep:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_adversary.py \
 		tests/test_differential.py -q
@@ -58,6 +74,8 @@ adversary-sweep:
 	PYTHONPATH=src $(PYTHON) -m repro.testing adversary --mode direct --trials 1000
 	PYTHONPATH=src $(PYTHON) -m repro.testing differential --mode counter --seeds 50
 	PYTHONPATH=src $(PYTHON) -m repro.testing differential --mode direct --seeds 50
+	PYTHONPATH=src $(PYTHON) -m repro.testing faults --mode counter --trials 500 --crash-sites
+	PYTHONPATH=src $(PYTHON) -m repro.testing faults --mode direct --trials 500 --crash-sites
 
 examples:
 	$(PYTHON) examples/quickstart.py

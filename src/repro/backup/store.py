@@ -267,6 +267,47 @@ class BackupStore:
         )
         return restored_pids
 
+    def repair_source(
+        self, stream_names: List[str]
+    ) -> Callable[[int, int], Optional[bytes]]:
+        """Build a chunk-level lookup over backup streams, for
+        :meth:`ChunkStore.scrub`'s repair pass (oldest stream first).
+
+        Unlike :meth:`restore`, nothing is written: the validated streams
+        are folded into an in-memory ``(pid, rank) -> bytes`` table (a
+        full backup resets its partition's entries; incrementals overlay
+        writes and drop deallocations) and a lookup callable is returned.
+        Scrub verifies each candidate against the committed descriptor
+        hash before committing it, so a stale table entry is refused, not
+        silently applied.
+        """
+        store = self.store
+        table: Dict[tuple, bytes] = {}
+        for stream_name in stream_names:
+            reader = self.archival.open_stream(stream_name)
+            while not reader.exhausted():
+                backup = read_partition_backup(
+                    reader,
+                    store.codec.system_cipher,
+                    make_cipher,
+                    self.mac,
+                    make_hash,
+                )
+                pid = backup.descriptor.source_pid
+                if not backup.descriptor.incremental:
+                    for key in [k for k in table if k[0] == pid]:
+                        del table[key]
+                for entry in backup.entries:
+                    if entry.kind == ENTRY_WRITTEN:
+                        table[(pid, entry.rank)] = entry.body
+                    else:
+                        table.pop((pid, entry.rank), None)
+
+        def lookup(pid: int, rank: int) -> Optional[bytes]:
+            return table.get((pid, rank))
+
+        return lookup
+
     @staticmethod
     def _check_set_complete(backups: List[PartitionBackup]) -> None:
         set_ids = {b.descriptor.set_id for b in backups}

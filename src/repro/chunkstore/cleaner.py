@@ -101,11 +101,9 @@ class Cleaner:
         #: (chunk id, plaintext body, partitions where current)
         survivors: List[Tuple[ChunkId, bytes, List[int]]] = []
         while cursor < end:
-            header_ct = store.platform.untrusted.read(
-                cursor, codec.header_cipher_size
-            )
+            header_ct = store._io_read(cursor, codec.header_cipher_size)
             header = codec.parse_header(header_ct)  # raises TamperDetected
-            body_ct = store.platform.untrusted.read(
+            body_ct = store._io_read(
                 cursor + codec.header_cipher_size, header.body_cipher_size
             )
             version_len = codec.header_cipher_size + header.body_cipher_size

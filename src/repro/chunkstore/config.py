@@ -10,9 +10,10 @@ KDF arrangement (domain-separated by label).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.registry import KEY_SIZES
+from repro.platform.retry import RetryPolicy
 
 
 @dataclass
@@ -48,6 +49,9 @@ class StoreConfig:
     clean_low_water: int = 2
     #: flush the untrusted store on every commit (paper's configuration)
     flush_every_commit: bool = True
+    #: how untrusted-store I/O retries transient faults (runtime-only:
+    #: not persisted in the superblock, so it may differ per open)
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.validation_mode not in ("direct", "counter"):

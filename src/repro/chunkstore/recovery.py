@@ -93,11 +93,11 @@ class _Recovery:
         segment_end = self.segman.segment_start(segment) + self.config.segment_size
         if location + header_size > segment_end:
             raise TamperDetectedError("version header crosses a segment boundary")
-        header_ct = self.untrusted.read(location, header_size)
+        header_ct = self.store._io_read(location, header_size)
         header = self.codec.parse_header(header_ct)
         if location + header_size + header.body_cipher_size > segment_end:
             raise TamperDetectedError("version body crosses a segment boundary")
-        body_ct = self.untrusted.read(location + header_size, header.body_cipher_size)
+        body_ct = self.store._io_read(location + header_size, header.body_cipher_size)
         return header, header_ct, body_ct
 
     # -- main ----------------------------------------------------------------

@@ -55,8 +55,10 @@ class LogWriteBuffer:
     ``tamper_image``) never lags the log between operations.
     """
 
-    def __init__(self, untrusted) -> None:
+    def __init__(self, untrusted, retrier=None) -> None:
         self._untrusted = untrusted
+        #: optional :class:`~repro.platform.retry.Retrier` for the issued write
+        self._retrier = retrier
         self._start = 0
         self._length = 0
         self._chunks: List[bytes] = []
@@ -84,17 +86,28 @@ class LogWriteBuffer:
         self.bytes_appended += len(data)
 
     def seal(self) -> None:
-        """Issue the pending span as one untrusted-store write."""
+        """Issue the pending span as one untrusted-store write.
+
+        The buffer is cleared only after the write succeeds: a transient
+        fault that escapes the retrier leaves the span pending, so the
+        bytes are re-issued (not silently dropped) on the next seal."""
         if not self._chunks:
             return
         data = self._chunks[0] if len(self._chunks) == 1 else b"".join(self._chunks)
         coalesced = len(self._chunks) - 1
+
+        def issue() -> None:
+            with profiled("untrusted store write"):
+                self._untrusted.write(self._start, data)
+
+        if self._retrier is not None:
+            self._retrier.call(issue, "log write")
+        else:
+            issue()
         self._chunks = []
         self._length = 0
         self.writes_issued += 1
         record_metric("log writes coalesced", coalesced)
-        with profiled("untrusted store write"):
-            self._untrusted.write(self._start, data)
 
 
 class SegmentManager:

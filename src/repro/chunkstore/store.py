@@ -40,7 +40,17 @@ from __future__ import annotations
 
 import logging
 import threading
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.bench.profiler import profiled
 from repro.chunkstore.cache import DescriptorCache
@@ -84,10 +94,13 @@ from repro.errors import (
     ChunkNotAllocatedError,
     ChunkNotWrittenError,
     ChunkStoreError,
+    IOFaultError,
     PartitionNotFoundError,
+    QuarantineError,
     StorageFullError,
     TamperDetectedError,
 )
+from repro.platform.retry import Retrier
 from repro.platform.trusted_platform import TrustedPlatform
 from repro.util.checksum import crc32_bytes
 from repro.util.codec import Decoder, Encoder
@@ -125,7 +138,12 @@ class ChunkStore:
             config.superblock_size, config.segment_size, platform.untrusted.size
         )
         self.cache = DescriptorCache(config.cache_size)
-        self.logbuf = LogWriteBuffer(platform.untrusted)
+        self.retrier = Retrier(
+            config.retry_policy,
+            clock=platform.clock,
+            stats=platform.untrusted.stats,
+        )
+        self.logbuf = LogWriteBuffer(platform.untrusted, self.retrier)
         self.partitions: Dict[int, PartitionState] = {}
         if config.validation_mode == "direct":
             self.validator = DirectValidation(platform.tamper_resistant, system_hash)
@@ -147,6 +165,13 @@ class ChunkStore:
         self._closed = False
         self._failed = False
         self.commit_count_stat = 0
+        #: degraded-mode state: str(chunk id) -> cause ("io" or "tamper").
+        #: "io" entries short-circuit reads with :class:`QuarantineError`
+        #: until scrub heals them; "tamper" entries are bookkeeping only —
+        #: reads keep re-validating and raising TamperDetectedError.
+        self._quarantine: Dict[str, str] = {}
+        #: chunks ever quarantined over this instance's lifetime
+        self.quarantined_total = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -240,8 +265,11 @@ class ChunkStore:
         data = self._superblock_bytes()
         if len(data) > self.config.superblock_size:
             raise ChunkStoreError("superblock overflow")
-        self.platform.untrusted.write(0, data.ljust(self.config.superblock_size, b"\x00"))
-        self.platform.untrusted.flush()
+        padded = data.ljust(self.config.superblock_size, b"\x00")
+        self.retrier.call(
+            lambda: self.platform.untrusted.write(0, padded), "superblock write"
+        )
+        self.retrier.call(self.platform.untrusted.flush, "superblock flush")
 
     @staticmethod
     def _read_superblock(platform: TrustedPlatform) -> StoreConfig:
@@ -399,6 +427,19 @@ class ChunkStore:
     # reading and validating versions
     # ------------------------------------------------------------------
 
+    def _io_read(self, location: int, size: int) -> bytes:
+        """One untrusted-store read, retried per the configured policy.
+
+        All trusted read paths (version reads, recovery, the cleaner) go
+        through here so transient device faults are absorbed uniformly;
+        only exhausted retries or permanent faults escape."""
+
+        def issue() -> bytes:
+            with profiled("untrusted store read"):
+                return self.platform.untrusted.read(location, size)
+
+        return self.retrier.call(issue, "read")
+
     def _read_version_at(self, location: int) -> Tuple[VersionHeader, bytes]:
         """Read and parse one version; returns (header, body ciphertext).
 
@@ -406,8 +447,7 @@ class ChunkStore:
         absurd body sizes — those are tampering, not I/O errors."""
         self.logbuf.seal()  # the location may sit in the pending span
         untrusted = self.platform.untrusted
-        with profiled("untrusted store read"):
-            header_ct = untrusted.read(location, self.codec.header_cipher_size)
+        header_ct = self._io_read(location, self.codec.header_cipher_size)
         header = self.codec.parse_header(header_ct)
         body_end = location + self.codec.header_cipher_size + header.body_cipher_size
         segment_end = (
@@ -421,31 +461,60 @@ class ChunkStore:
                 f"version at {location} declares an implausible body size "
                 f"{header.body_cipher_size}"
             )
-        with profiled("untrusted store read"):
-            body_ct = untrusted.read(
-                location + self.codec.header_cipher_size, header.body_cipher_size
-            )
+        body_ct = self._io_read(
+            location + self.codec.header_cipher_size, header.body_cipher_size
+        )
         return header, body_ct
+
+    def _quarantine_chunk(self, key: str, cause: str) -> None:
+        if key not in self._quarantine:
+            self.quarantined_total += 1
+            logger.warning("quarantining chunk %s (%s)", key, cause)
+        if cause == "io" or key not in self._quarantine:
+            self._quarantine[key] = cause
 
     def _read_validated(
         self, cid: ChunkId, descriptor: ChunkDescriptor, state: PartitionState
     ) -> bytes:
         """Read the version ``descriptor`` points at, decrypt it with the
-        partition cipher, and validate it against the descriptor hash."""
-        header, body_ct = self._read_version_at(descriptor.location)
-        if header.kind != VersionKind.NAMED:
-            raise TamperDetectedError(f"chunk {cid}: version kind mismatch")
-        if (header.height, header.rank) != (cid.height, cid.rank):
-            raise TamperDetectedError(
-                f"chunk {cid}: stored position {header.height}.{header.rank} "
-                f"does not match"
-            )
-        with profiled("encryption"):
-            body = self.codec.decrypt_body(header, body_ct, state.cipher)
-        with profiled("hashing"):
-            computed = self.codec.descriptor_hash(header, body, state.hash)
-        if computed != descriptor.body_hash:
-            raise TamperDetectedError(f"chunk {cid}: hash mismatch")
+        partition cipher, and validate it against the descriptor hash.
+
+        Degraded mode: an extent unreadable after retries quarantines the
+        chunk (``QuarantineError``) instead of poisoning the store, and
+        later reads short-circuit until scrub clears the entry for a
+        fresh attempt.  Validation failures still raise
+        :class:`TamperDetectedError` on every read — the security verdict
+        never changes — but are recorded so scrub can target repair."""
+        key = str(cid)
+        if self._quarantine.get(key) == "io":
+            raise QuarantineError(key, "io")
+        try:
+            header, body_ct = self._read_version_at(descriptor.location)
+        except IOFaultError as exc:
+            self._quarantine_chunk(key, "io")
+            raise QuarantineError(key, "io") from exc
+        except TamperDetectedError:
+            # a tampered *header* (undecryptable / malformed / absurd size)
+            self._quarantine_chunk(key, "tamper")
+            raise
+        try:
+            if header.kind != VersionKind.NAMED:
+                raise TamperDetectedError(f"chunk {cid}: version kind mismatch")
+            if (header.height, header.rank) != (cid.height, cid.rank):
+                raise TamperDetectedError(
+                    f"chunk {cid}: stored position {header.height}.{header.rank} "
+                    f"does not match"
+                )
+            with profiled("encryption"):
+                body = self.codec.decrypt_body(header, body_ct, state.cipher)
+            with profiled("hashing"):
+                computed = self.codec.descriptor_hash(header, body, state.hash)
+            if computed != descriptor.body_hash:
+                raise TamperDetectedError(f"chunk {cid}: hash mismatch")
+        except TamperDetectedError:
+            self._quarantine_chunk(key, "tamper")
+            raise
+        self._quarantine.pop(key, None)  # a clean read heals the entry
         return body
 
     def _read_chunk_body(self, cid: ChunkId) -> bytes:
@@ -524,8 +593,12 @@ class ChunkStore:
 
     def _flush_untrusted(self) -> None:
         self.logbuf.seal()
-        with profiled("untrusted store write"):
-            self.platform.untrusted.flush()
+
+        def issue() -> None:
+            with profiled("untrusted store write"):
+                self.platform.untrusted.flush()
+
+        self.retrier.call(issue, "flush")
         if self.config.validation_mode == "counter":
             self.validator.note_flushed()
 
@@ -543,7 +616,7 @@ class ChunkStore:
         if old is None and state.payload.tree_height >= max(cid.height, 1):
             try:
                 old = self._get_descriptor(cid)
-            except TamperDetectedError:
+            except (TamperDetectedError, QuarantineError, IOFaultError):
                 old = None  # accounting only; validation happens on real reads
         if old is not None and old.is_written():
             self.segman.sub_live(old.location, old.length)
@@ -559,7 +632,7 @@ class ChunkStore:
         if old is None:
             try:
                 old = self._get_descriptor(cid)
-            except TamperDetectedError:
+            except (TamperDetectedError, QuarantineError, IOFaultError):
                 old = None
         if old is not None and old.is_written():
             self.segman.sub_live(old.location, old.length)
@@ -596,7 +669,12 @@ class ChunkStore:
                 continue
             try:
                 state = self._state(current)
-            except (PartitionNotFoundError, TamperDetectedError):
+            except (
+                PartitionNotFoundError,
+                TamperDetectedError,
+                QuarantineError,
+                IOFaultError,
+            ):
                 continue
             queue.extend(state.payload.copies)
         return family
@@ -607,7 +685,12 @@ class ChunkStore:
         (skips unreadable subtrees); used only for utilization estimates."""
         try:
             state = self._state(pid)
-        except (PartitionNotFoundError, TamperDetectedError):
+        except (
+            PartitionNotFoundError,
+            TamperDetectedError,
+            QuarantineError,
+            IOFaultError,
+        ):
             return
         payload = state.payload
         if payload.tree_height == 0:
@@ -622,7 +705,7 @@ class ChunkStore:
                 continue
             try:
                 body = self._read_validated(cid, descriptor, state)
-            except (TamperDetectedError, ValueError):
+            except (TamperDetectedError, QuarantineError, IOFaultError, ValueError):
                 continue
             try:
                 children = decode_descriptor_vector(body)
@@ -1090,8 +1173,20 @@ class ChunkStore:
             except TamperDetectedError:
                 raise
         if old_desc is not None and old_desc.is_written():
-            body = self._read_validated(map_id, old_desc, state)
-            slots = decode_descriptor_vector(body)
+            try:
+                body = self._read_validated(map_id, old_desc, state)
+            except (QuarantineError, IOFaultError, TamperDetectedError):
+                # Degraded rebuild: a checkpoint must not be poisoned by a
+                # dead map chunk if every written child descriptor it held
+                # is known from elsewhere (the cache, or repairs just
+                # committed).  If any committed child is unaccounted for,
+                # the original error propagates — rebuilding would silently
+                # drop that chunk's location.
+                slots = self._degraded_map_slots(map_id, state)
+                if slots is None:
+                    raise
+            else:
+                slots = decode_descriptor_vector(body)
         else:
             slots = [ChunkDescriptor() for _ in range(fanout)]
         for slot in range(fanout):
@@ -1110,7 +1205,32 @@ class ChunkStore:
             self.segman.sub_live(old_desc.location, old_desc.length)
         self.segman.add_live(location, len(version))
         self.cache.put_dirty(map_id, descriptor)
+        self._quarantine.pop(str(map_id), None)  # the rewrite supersedes it
         return True
+
+    def _degraded_map_slots(
+        self, map_id: ChunkId, state: PartitionState
+    ) -> Optional[List[ChunkDescriptor]]:
+        """Rebuild an unreadable map chunk's slot vector from the cache.
+
+        Returns ``None`` if any committed-written data rank covered by an
+        uncached child subtree exists — its descriptor lives only in the
+        dead map chunk, so a rebuild would lose it."""
+        fanout = self.config.fanout
+        slots: List[ChunkDescriptor] = []
+        child_span = fanout ** (map_id.height - 1)
+        for slot in range(fanout):
+            child = map_id.child(fanout, slot)
+            cached = self.cache.get(child)
+            if cached is not None:
+                slots.append(cached)
+                continue
+            first = child.rank * child_span
+            last = min((child.rank + 1) * child_span, state.payload.next_rank)
+            if any(state.is_committed_written(r) for r in range(first, last)):
+                return None
+            slots.append(ChunkDescriptor())
+        return slots
 
     # ------------------------------------------------------------------
     # diff (§5.3)
@@ -1226,24 +1346,66 @@ class ChunkStore:
     # introspection / stats
     # ------------------------------------------------------------------
 
-    def scrub(self, raise_on_first: bool = True) -> Dict[str, object]:
-        """Proactively validate the *entire* database (an fsck for trust).
+    def scrub(
+        self,
+        raise_on_first: bool = True,
+        repair_source: Optional[Callable[[int, int], Optional[bytes]]] = None,
+    ) -> Dict[str, object]:
+        """Proactively validate the *entire* database (an fsck for trust),
+        and repair what the device or an attacker destroyed.
 
         Walks every partition's position map and reads every current map
-        and data chunk through the normal validated read path.  With
-        ``raise_on_first`` (default), the first corruption raises
-        :class:`TamperDetectedError`; otherwise corrupt chunk ids are
-        collected and reported.
+        and data chunk through the normal validated read path, giving
+        previously quarantined extents fresh retries.  With
+        ``raise_on_first`` (default), the first failure raises; otherwise
+        failures are collected — ``corrupt`` for validation failures
+        (tampering), ``unreadable`` for extents dead after retries — and a
+        repair pass runs:
 
-        Returns ``{"chunks_validated": n, "partitions": m, "corrupt": [...]}``.
+        * data chunks are re-committed from ``repair_source(pid, rank)``
+          (e.g. :meth:`repro.backup.store.BackupStore.repair_source`).
+          Where the committed descriptor is reachable, the candidate must
+          hash to exactly the committed bytes, so a stale backup can never
+          silently roll data back; with the descriptor unreachable (dead
+          map chunk) the MAC-validated backup is the remaining authority.
+        * unreadable map chunks are rebuilt from cached and freshly
+          repaired child descriptors by forcing a checkpoint rewrite.
+
+        Every failed chunk is then re-read: the ones that now validate are
+        reported in ``repaired``, the rest in ``unrepaired`` (and stay
+        quarantined for a later scrub with a better backup).
         """
         with self._lock, profiled("chunk store"):
             self._check_open()
+            # Fresh retries: drop "io" short-circuits so reads hit the
+            # device again ("tamper" entries are bookkeeping; reads
+            # re-validate those regardless).
+            self._quarantine = {
+                k: v for k, v in self._quarantine.items() if v != "io"
+            }
             validated = 0
             corrupt: List[str] = []
+            unreadable: List[str] = []
+            failed: List[ChunkId] = []
+            scan_errors = (TamperDetectedError, QuarantineError, IOFaultError)
+
+            def note_failure(cid: ChunkId, exc: Exception) -> None:
+                if isinstance(exc, TamperDetectedError):
+                    corrupt.append(str(cid))
+                else:
+                    unreadable.append(str(cid))
+                failed.append(cid)
+
             pids = [SYSTEM_PARTITION] + self.partition_ids()
             for pid in pids:
-                state = self._state(pid)
+                try:
+                    state = self._state(pid)
+                except scan_errors:
+                    if raise_on_first:
+                        raise
+                    # the leader is a data chunk of the system partition,
+                    # already recorded by the system partition's own walk
+                    continue
                 for rank in range(state.payload.next_rank):
                     if not state.is_committed_written(rank):
                         continue
@@ -1251,10 +1413,10 @@ class ChunkStore:
                     try:
                         self._read_chunk_body(cid)
                         validated += 1
-                    except TamperDetectedError:
+                    except scan_errors as exc:
                         if raise_on_first:
                             raise
-                        corrupt.append(str(cid))
+                        note_failure(cid, exc)
                 # map chunks validate implicitly on the way down, but walk
                 # them explicitly so unreferenced-yet-current levels count
                 height = state.payload.tree_height
@@ -1264,28 +1426,121 @@ class ChunkStore:
                     )
                     for rank in range(span):
                         cid = ChunkId(pid, level, rank)
-                        descriptor = self._get_descriptor(cid)
-                        if not descriptor.is_written():
-                            continue
                         try:
+                            descriptor = self._get_descriptor(cid)
+                            if not descriptor.is_written():
+                                continue
                             self._read_validated(cid, descriptor, state)
                             validated += 1
-                        except TamperDetectedError:
+                        except scan_errors as exc:
                             if raise_on_first:
                                 raise
-                            corrupt.append(str(cid))
+                            note_failure(cid, exc)
+
+            repaired: List[str] = []
+            unrepaired: List[str] = []
+            if failed:
+                self._repair_failed_chunks(failed, repair_source)
+                for cid in failed:
+                    self._quarantine.pop(str(cid), None)  # fresh attempt
+                    try:
+                        state = self._state(cid.partition)
+                        if cid.height == 0:
+                            self._read_chunk_body(cid)
+                        else:
+                            descriptor = self._get_descriptor(cid)
+                            if descriptor.is_written():
+                                self._read_validated(cid, descriptor, state)
+                        repaired.append(str(cid))
+                    except (ChunkStoreError, TamperDetectedError, IOFaultError):
+                        unrepaired.append(str(cid))
             logger.info(
                 "scrub: %d chunk(s) validated across %d partition(s), "
-                "%d corrupt",
+                "%d corrupt, %d unreadable, %d repaired",
                 validated,
                 len(pids),
                 len(corrupt),
+                len(unreadable),
+                len(repaired),
             )
             return {
                 "chunks_validated": validated,
                 "partitions": len(pids),
                 "corrupt": corrupt,
+                "unreadable": unreadable,
+                "repaired": repaired,
+                "unrepaired": unrepaired,
+                "quarantine": dict(self._quarantine),
             }
+
+    def _repair_failed_chunks(
+        self,
+        failed: List[ChunkId],
+        repair_source: Optional[Callable[[int, int], Optional[bytes]]],
+    ) -> None:
+        """Scrub's repair pass (see :meth:`scrub`)."""
+        changed = False
+        for cid in failed:
+            if (
+                cid.height == 0
+                and cid.partition != SYSTEM_PARTITION
+                and repair_source is not None
+            ):
+                try:
+                    state = self._state(cid.partition)
+                except (TamperDetectedError, QuarantineError, IOFaultError):
+                    continue
+                candidate = repair_source(cid.partition, cid.rank)
+                if candidate is not None and self._repair_data_chunk(
+                    cid, state, candidate
+                ):
+                    changed = True
+            elif cid.height >= 1:
+                # Re-dirty every cached written child so the checkpoint
+                # rewrites this map chunk (degraded rebuild from cache).
+                for slot in range(self.config.fanout):
+                    child = cid.child(self.config.fanout, slot)
+                    cached = self.cache.get(child)
+                    if cached is not None and cached.is_written():
+                        self.cache.put_dirty(child, cached)
+                        changed = True
+        if changed:
+            try:
+                self._write_checkpoint()
+            except BaseException:
+                self._failed = True  # half-written checkpoint: reopen
+                raise
+
+    def _repair_data_chunk(
+        self, cid: ChunkId, state: PartitionState, candidate: bytes
+    ) -> bool:
+        """Re-commit backup bytes for one data chunk, verified first where
+        the committed descriptor is reachable (stale bytes are refused)."""
+        try:
+            descriptor = self._get_descriptor(cid)
+        except (TamperDetectedError, QuarantineError, IOFaultError):
+            descriptor = None
+        if descriptor is not None and descriptor.is_written():
+            header = VersionHeader(
+                VersionKind.NAMED,
+                cid.partition,
+                cid.height,
+                cid.rank,
+                len(candidate),
+                state.cipher.ciphertext_size(len(candidate)),
+            )
+            if (
+                self.codec.descriptor_hash(header, candidate, state.hash)
+                != descriptor.body_hash
+            ):
+                logger.warning(
+                    "scrub: backup bytes for %s do not match the committed "
+                    "hash; refusing to roll back",
+                    cid,
+                )
+                return False
+        self.commit([WriteChunk(cid.partition, cid.rank, candidate)])
+        return True
 
     def stored_bytes(self) -> int:
         """Bytes the log currently occupies (§9.3 space accounting)."""
@@ -1330,8 +1585,21 @@ class ChunkStore:
                     "bytes_written": io.bytes_written,
                     "flushes": io.flushes,
                     "flushed_bytes": io.flushed_bytes,
+                    "io_errors": io.io_errors,
+                    "retries": io.retries,
+                    "gave_up": io.gave_up,
+                },
+                "faults": {
+                    "quarantined": self.quarantined_total,
+                    "quarantine_active": len(self._quarantine),
                 },
             }
+
+    def quarantined_chunks(self) -> Dict[str, str]:
+        """Active quarantine entries: ``{chunk id: cause}`` (see
+        :meth:`scrub` for how entries heal)."""
+        with self._lock:
+            return dict(self._quarantine)
 
     def data_ranks(self, pid: int) -> List[int]:
         """All committed-written data ranks of a partition."""

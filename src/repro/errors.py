@@ -59,6 +59,56 @@ class CrashError(TDBError):
     """
 
 
+class IOFaultError(TDBError):
+    """An untrusted-storage operation failed at the I/O level.
+
+    Unlike :class:`TamperDetectedError` this carries no security meaning:
+    the bytes were never delivered, so nothing was validated.  Raised by
+    the fault-injection machinery (and, for a real deployment, the place
+    to translate ``OSError``/network failures into the TDB hierarchy).
+    """
+
+
+class TransientIOError(IOFaultError):
+    """A retryable I/O failure (dropped request, transient read error).
+
+    The retry layer re-issues the operation; the error escapes to callers
+    only once the retry policy's attempts or deadline are exhausted.
+    """
+
+
+class PermanentIOError(IOFaultError):
+    """A non-retryable I/O failure (media damage, e.g. a bad sector).
+
+    Retrying cannot help; the affected extent can only be healed by
+    restoring its committed bytes from a backup copy elsewhere."""
+
+
+class RemoteTimeoutError(TransientIOError):
+    """A round trip to the remote untrusted server timed out (§10)."""
+
+
+class PartialResponseError(TransientIOError):
+    """A batched remote read returned fewer extents than requested."""
+
+
+class QuarantineError(ChunkStoreError):
+    """A chunk is quarantined: unreadable after retries were exhausted.
+
+    Degraded mode (not fail-stop): only reads of the quarantined chunk
+    raise this; unrelated chunks and partitions stay fully usable, and
+    :meth:`ChunkStore.scrub` can later heal the quarantine by re-fetching
+    or restoring from backup.
+    """
+
+    def __init__(self, chunk: str, cause: str) -> None:
+        super().__init__(f"chunk {chunk} is quarantined ({cause})")
+        #: string form of the quarantined chunk id
+        self.chunk = chunk
+        #: what put it there: "io" (unreadable) or "tamper" (validation)
+        self.cause = cause
+
+
 class BackupError(TDBError):
     """Base class for backup-store errors."""
 

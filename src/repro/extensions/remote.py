@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from repro.errors import PartialResponseError
 from repro.platform.untrusted import UntrustedStore
 
 
@@ -42,11 +43,13 @@ class RemoteUntrustedStore(UntrustedStore):
     """An untrusted store behind a (simulated) network."""
 
     def __init__(self, backing: UntrustedStore) -> None:
-        super().__init__(backing.size, backing.injector)
+        super().__init__(backing.size, backing.injector, backing.faults)
         self._backing = backing
         self.round_trips = 0
         self.payload_bytes = 0
-        #: writes queued on the client, shipped at flush in one round trip
+        #: writes queued on the client, shipped at flush in one round trip;
+        #: cleared only once the flush round trip succeeds, so a faulted
+        #: flush leaves every queued write replayable
         self._write_queue: List[Tuple[int, bytes]] = []
 
     # -- raw image ------------------------------------------------------------
@@ -57,17 +60,42 @@ class RemoteUntrustedStore(UntrustedStore):
     def _image_write(self, offset: int, data: bytes) -> None:
         self._backing._image_write(offset, data)
 
+    # -- fault plumbing --------------------------------------------------------
+
+    def _fault_round_trip(self, op: str) -> None:
+        if self.faults is not None:
+            try:
+                self.faults.on_round_trip(op)
+            except Exception:
+                self.stats.io_errors += 1
+                raise
+
     # -- accounted operations ---------------------------------------------------
 
     def read(self, offset: int, size: int) -> bytes:
+        self._fault_round_trip("read")
         self.round_trips += 1
         self.payload_bytes += size
         return super().read(offset, size)
 
     def read_many(self, extents: List[Tuple[int, int]]) -> List[bytes]:
-        """The §10 batching optimisation: one round trip for the batch."""
+        """The §10 batching optimisation: one round trip for the batch.
+
+        The round trip may time out, or the server may answer only a
+        prefix of the batch (:class:`~repro.errors.PartialResponseError`);
+        either way no result is returned and the caller retries the whole
+        batch.
+        """
         if not extents:
             return []
+        self._fault_round_trip("read_many")
+        if self.faults is not None:
+            answered = self.faults.on_batch(len(extents))
+            if answered < len(extents):
+                self.stats.io_errors += 1
+                raise PartialResponseError(
+                    f"remote batch answered {answered}/{len(extents)} extents"
+                )
         self.round_trips += 1
         self.payload_bytes += sum(size for _, size in extents)
         return super().read_many(extents)
@@ -76,10 +104,27 @@ class RemoteUntrustedStore(UntrustedStore):
         # writes are queued client-side; the flush ships them in one batch
         self.payload_bytes += len(data)
         super().write(offset, data)
+        self._write_queue.append((offset, bytes(data)))
 
     def flush(self) -> None:
+        """Ship the queued writes + fsync request in one round trip.
+
+        The queue is cleared only after the round trip and the durable
+        flush both succeed; a fault anywhere leaves it intact so the next
+        flush re-ships the same writes (nothing is silently dropped).
+        """
+        self._fault_round_trip("flush")
         self.round_trips += 1  # the batched write + fsync request
         super().flush()
+        self._write_queue = []
+
+    def pending_writes(self) -> List[Tuple[int, bytes]]:
+        """Writes queued on the client but not yet acknowledged durable."""
+        return list(self._write_queue)
+
+    def simulate_crash(self) -> None:
+        super().simulate_crash()
+        self._write_queue = []
 
     def reset_accounting(self) -> None:
         self.round_trips = 0

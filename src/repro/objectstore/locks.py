@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Set
+from typing import Dict, Hashable, Optional, Set
 
 from repro.errors import DeadlockError
+from repro.platform.clock import Clock, SystemClock
 
 
 @dataclass
@@ -34,8 +35,11 @@ class _LockState:
 class LockManager:
     """Per-object shared/exclusive locks for transactions."""
 
-    def __init__(self, timeout: float = 2.0) -> None:
+    def __init__(self, timeout: float = 2.0, clock: Optional[Clock] = None) -> None:
         self.timeout = timeout
+        #: injectable time source (shared with the platform's retry layer),
+        #: so deadlock-timeout tests never sleep on the wall clock
+        self.clock = clock or SystemClock()
         self._mutex = threading.Lock()
         self._condition = threading.Condition(self._mutex)
         self._locks: Dict[Hashable, _LockState] = {}
@@ -64,7 +68,9 @@ class LockManager:
                     return
                 if deadline is None:
                     deadline = self._now() + self.timeout
-                if not self._condition.wait(timeout=self._remaining(deadline)):
+                if not self.clock.wait_on(
+                    self._condition, self._remaining(deadline)
+                ):
                     self._timeout(tx_id, ref, "shared")
 
     def acquire_exclusive(self, tx_id: int, ref: Hashable) -> None:
@@ -85,7 +91,9 @@ class LockManager:
                     return
                 if deadline is None:
                     deadline = self._now() + self.timeout
-                if not self._condition.wait(timeout=self._remaining(deadline)):
+                if not self.clock.wait_on(
+                    self._condition, self._remaining(deadline)
+                ):
                     self._timeout(tx_id, ref, "exclusive")
 
     def release_all(self, tx_id: int) -> None:
@@ -115,11 +123,8 @@ class LockManager:
 
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _now() -> float:
-        import time
-
-        return time.monotonic()
+    def _now(self) -> float:
+        return self.clock.now()
 
     def _remaining(self, deadline: float) -> float:
         return max(0.0, deadline - self._now())

@@ -88,7 +88,7 @@ class ObjectStore:
         self.chunks = chunk_store
         self.registry = registry
         self.cache = ObjectCache(cache_size)
-        self.locks = LockManager(lock_timeout)
+        self.locks = LockManager(lock_timeout, clock=chunk_store.platform.clock)
         self._tx_ids = itertools.count(1)
         self._commit_mutex = threading.Lock()
         #: operation counters for the Figure 10 accounting

@@ -25,8 +25,11 @@ from repro.platform.archival import (
     FileArchivalStore,
     MemoryArchivalStore,
 )
+from repro.platform.clock import Clock, FakeClock, SystemClock
 from repro.platform.crash import CrashInjector
 from repro.platform.disk_model import DiskModel
+from repro.platform.faults import FaultConfig, FaultInjector
+from repro.platform.retry import Retrier, RetryPolicy
 from repro.platform.secret_store import SecretStore
 from repro.platform.tamper_resistant import (
     TamperResistantCounter,
@@ -44,8 +47,15 @@ __all__ = [
     "ArchivalStore",
     "MemoryArchivalStore",
     "FileArchivalStore",
+    "Clock",
+    "SystemClock",
+    "FakeClock",
     "CrashInjector",
     "DiskModel",
+    "FaultConfig",
+    "FaultInjector",
+    "Retrier",
+    "RetryPolicy",
     "SecretStore",
     "TamperResistantStore",
     "TamperResistantCounter",

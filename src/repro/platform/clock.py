@@ -1,0 +1,76 @@
+"""Injectable time source for retry backoff and lock timeouts.
+
+Retry backoff (:mod:`repro.platform.retry`) and deadlock timeouts
+(:class:`repro.objectstore.locks.LockManager`) both need a notion of
+elapsed time.  Production code uses :class:`SystemClock`; tests inject a
+:class:`FakeClock` so that exponential backoff and two-second lock
+timeouts complete instantly — no test ever sleeps on the wall clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Monotonic time source with sleep and condition-wait primitives."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (backoff delays)."""
+
+    @abstractmethod
+    def wait_on(self, condition: "threading.Condition", timeout: float) -> bool:
+        """Wait on ``condition`` (held) for up to ``timeout`` seconds.
+
+        Returns ``True`` if notified, ``False`` on timeout — the same
+        contract as :meth:`threading.Condition.wait`.
+        """
+
+
+class SystemClock(Clock):
+    """Real wall-clock time (monotonic)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def wait_on(self, condition: "threading.Condition", timeout: float) -> bool:
+        return condition.wait(timeout=timeout)
+
+
+class FakeClock(Clock):
+    """Deterministic clock for tests: sleeping just advances ``now``.
+
+    ``wait_on`` advances time by the full timeout and reports a timeout
+    (``False``) — exactly what a deadlock-timeout test wants: the waiter
+    "waits" its whole budget without notification, instantly.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.sleeps: list = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self._now += seconds
+            self.sleeps.append(seconds)
+
+    def advance(self, seconds: float) -> None:
+        self._now += seconds
+
+    def wait_on(self, condition: "threading.Condition", timeout: float) -> bool:
+        self._now += max(timeout, 0.0)
+        return False

@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.platform.archival import ArchivalStore, MemoryArchivalStore
+from repro.platform.clock import Clock, SystemClock
 from repro.platform.crash import CrashInjector
+from repro.platform.faults import FaultInjector
 from repro.platform.secret_store import SecretStore
 from repro.platform.tamper_resistant import (
     TamperResistantCounter,
@@ -31,6 +33,18 @@ class TrustedPlatform:
     untrusted: UntrustedStore
     archival: ArchivalStore
     injector: CrashInjector
+    #: I/O fault source shared with ``untrusted`` (None = perfect device)
+    faults: Optional[FaultInjector] = None
+    #: time source for retry backoff and lock timeouts
+    clock: Clock = field(default_factory=SystemClock)
+
+    def __post_init__(self) -> None:
+        # Keep one fault source: whichever of the platform field or the
+        # untrusted store's own injector is set wins (platform preferred).
+        if self.faults is not None:
+            self.untrusted.faults = self.faults
+        elif self.untrusted.faults is not None:
+            self.faults = self.untrusted.faults
 
     @classmethod
     def create_in_memory(
@@ -38,6 +52,8 @@ class TrustedPlatform:
         untrusted_size: int = 16 * 1024 * 1024,
         secret: Optional[bytes] = None,
         injector: Optional[CrashInjector] = None,
+        faults: Optional[FaultInjector] = None,
+        clock: Optional[Clock] = None,
     ) -> "TrustedPlatform":
         """Provision a fresh in-memory platform (the common test fixture)."""
         injector = injector or CrashInjector()
@@ -45,9 +61,11 @@ class TrustedPlatform:
             secret_store=SecretStore(secret or os.urandom(SecretStore.SIZE)),
             tamper_resistant=TamperResistantStore(),
             counter=TamperResistantCounter(),
-            untrusted=MemoryUntrustedStore(untrusted_size, injector),
+            untrusted=MemoryUntrustedStore(untrusted_size, injector, faults),
             archival=MemoryArchivalStore(),
             injector=injector,
+            faults=faults,
+            clock=clock or SystemClock(),
         )
 
     def reboot(self) -> None:

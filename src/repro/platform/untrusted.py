@@ -35,6 +35,9 @@ from typing import List, Optional, Tuple
 
 from repro.platform.crash import CrashInjector
 
+if False:  # pragma: no cover - import cycle guard, typing only
+    from repro.platform.faults import FaultInjector
+
 
 @dataclass
 class IOStats:
@@ -48,6 +51,12 @@ class IOStats:
     flushed_bytes: int = 0
     #: read_many batches issued (each counts as a single round trip, §10)
     batched_reads: int = 0
+    #: I/O faults raised by the store (injected or real)
+    io_errors: int = 0
+    #: operations re-issued by the retry layer after a transient fault
+    retries: int = 0
+    #: operations abandoned after the retry policy was exhausted
+    gave_up: int = 0
 
     def reset(self) -> None:
         self.reads = 0
@@ -57,6 +66,9 @@ class IOStats:
         self.flushes = 0
         self.flushed_bytes = 0
         self.batched_reads = 0
+        self.io_errors = 0
+        self.retries = 0
+        self.gave_up = 0
 
     def snapshot(self) -> "IOStats":
         return IOStats(
@@ -67,6 +79,9 @@ class IOStats:
             flushes=self.flushes,
             flushed_bytes=self.flushed_bytes,
             batched_reads=self.batched_reads,
+            io_errors=self.io_errors,
+            retries=self.retries,
+            gave_up=self.gave_up,
         )
 
     def delta(self, earlier: "IOStats") -> "IOStats":
@@ -78,6 +93,9 @@ class IOStats:
             flushes=self.flushes - earlier.flushes,
             flushed_bytes=self.flushed_bytes - earlier.flushed_bytes,
             batched_reads=self.batched_reads - earlier.batched_reads,
+            io_errors=self.io_errors - earlier.io_errors,
+            retries=self.retries - earlier.retries,
+            gave_up=self.gave_up - earlier.gave_up,
         )
 
 
@@ -92,11 +110,16 @@ class UntrustedStore(ABC):
     """Byte-addressed untrusted storage with flush/crash semantics."""
 
     def __init__(
-        self, size: int, crash_injector: Optional[CrashInjector] = None
+        self,
+        size: int,
+        crash_injector: Optional[CrashInjector] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         self._size = size
         self.stats = IOStats()
         self.injector = crash_injector or CrashInjector()
+        #: optional I/O fault source; ``None`` means a perfect device
+        self.faults = fault_injector
         #: chronological journal of writes not yet flushed
         self._undo: List[_UndoRecord] = []
 
@@ -114,8 +137,19 @@ class UntrustedStore(ABC):
     def size(self) -> int:
         return self._size
 
+    def _fault_read(self, offset: int, size: int) -> None:
+        """Give the fault injector a chance to fail a read (before any
+        accounting, so a faulted read is a clean no-op)."""
+        if self.faults is not None:
+            try:
+                self.faults.on_read(offset, size)
+            except Exception:
+                self.stats.io_errors += 1
+                raise
+
     def read(self, offset: int, size: int) -> bytes:
         self._check_range(offset, size)
+        self._fault_read(offset, size)
         self.stats.reads += 1
         self.stats.bytes_read += size
         return self._image_read(offset, size)
@@ -130,10 +164,12 @@ class UntrustedStore(ABC):
         one-read-per-extent baseline."""
         if not extents:
             return []
+        for offset, size in extents:
+            self._check_range(offset, size)
+            self._fault_read(offset, size)
         results = []
         total = 0
         for offset, size in extents:
-            self._check_range(offset, size)
             total += size
             results.append(self._image_read(offset, size))
         self.stats.reads += 1
@@ -143,6 +179,12 @@ class UntrustedStore(ABC):
 
     def write(self, offset: int, data: bytes) -> None:
         self._check_range(offset, len(data))
+        if self.faults is not None:
+            try:
+                self.faults.on_write(offset, len(data))
+            except Exception:
+                self.stats.io_errors += 1
+                raise
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
         self._undo.append(
@@ -154,8 +196,16 @@ class UntrustedStore(ABC):
         """Make all buffered writes durable.
 
         A crash injected at ``untrusted.flush.partial`` makes only a prefix
-        of the pending writes durable.
+        of the pending writes durable.  An injected flush fault fires
+        before any pending record becomes durable: the undo journal is
+        untouched, so the caller can simply flush again.
         """
+        if self.faults is not None:
+            try:
+                self.faults.on_flush()
+            except Exception:
+                self.stats.io_errors += 1
+                raise
         self.injector.point("untrusted.flush.begin")
         self.stats.flushes += 1
         pending = self._undo
@@ -217,9 +267,12 @@ class MemoryUntrustedStore(UntrustedStore):
     """Untrusted store backed by an in-memory byte array."""
 
     def __init__(
-        self, size: int, crash_injector: Optional[CrashInjector] = None
+        self,
+        size: int,
+        crash_injector: Optional[CrashInjector] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
-        super().__init__(size, crash_injector)
+        super().__init__(size, crash_injector, fault_injector)
         self._image = bytearray(size)
 
     def _image_read(self, offset: int, size: int) -> bytes:
@@ -237,8 +290,9 @@ class FileUntrustedStore(UntrustedStore):
         path: str,
         size: int,
         crash_injector: Optional[CrashInjector] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
-        super().__init__(size, crash_injector)
+        super().__init__(size, crash_injector, fault_injector)
         self._path = path
         create = not os.path.exists(path) or os.path.getsize(path) != size
         self._file = open(path, "r+b" if not create else "w+b")

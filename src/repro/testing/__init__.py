@@ -7,6 +7,9 @@ Three layers, all seeded and reproducible:
 * :mod:`repro.testing.differential` — model-based differential testing of
   the chunk store against :mod:`repro.testing.model`, with seed replay and
   prefix shrinking;
+* :mod:`repro.testing.faultsweep` — seeded transient/permanent I/O fault
+  sweep enforcing the succeed-or-typed-error-or-healable-quarantine
+  invariant (and its crash-under-faults composition);
 * :mod:`repro.testing.sweep` — the shared discover-then-replay loop over
   crash (and tamper) injection points.
 
@@ -34,6 +37,17 @@ from repro.testing.differential import (
     Op,
     op_value,
 )
+from repro.testing.faultsweep import (
+    FAILSTOP,
+    HEALED,
+    OK,
+    QUARANTINED,
+    TYPED,
+    FaultSweep,
+    FaultSweepResult,
+    FaultTrialReport,
+    fault_config,
+)
 from repro.testing.model import ReferenceModel, diff_states, observe_store
 from repro.testing.snapshot import PlatformSnapshot
 from repro.testing.sweep import SweepDriver, SweepSite, sample_sites
@@ -54,6 +68,15 @@ __all__ = [
     "DiffFailure",
     "Op",
     "op_value",
+    "FaultSweep",
+    "FaultSweepResult",
+    "FaultTrialReport",
+    "fault_config",
+    "OK",
+    "TYPED",
+    "HEALED",
+    "QUARANTINED",
+    "FAILSTOP",
     "ReferenceModel",
     "observe_store",
     "diff_states",

@@ -6,6 +6,9 @@ Usage (see also the Makefile targets)::
                                         [--seed N] [--class NAME]
     python -m repro.testing differential [--mode counter] [--seeds 20]
                                         [--seed N] [--ops 50]
+    python -m repro.testing faults      [--mode counter] [--trials 150]
+                                        [--seed N] [--point NAME]
+                                        [--rate R] [--crash-sites]
 
 Exit status is non-zero iff a harness failure (silent corruption, foreign
 exception, or store/model divergence) was found; each failure prints a
@@ -19,6 +22,7 @@ import sys
 
 from repro.testing.adversary import Adversary
 from repro.testing.differential import DifferentialRunner
+from repro.testing.faultsweep import FaultSweep
 
 
 def _run_adversary(args: argparse.Namespace) -> int:
@@ -69,6 +73,40 @@ def _run_differential(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _run_faults(args: argparse.Namespace) -> int:
+    sweep = FaultSweep(mode=args.mode)
+    if args.seed is not None:
+        report = sweep.run_trial(args.seed, point=args.point, rate=args.rate)
+        print(
+            f"seed={report.seed} point={report.point} rate={report.rate} "
+            f"outcome={report.outcome}"
+        )
+        print(f"  {report.detail}")
+        if report.failed:
+            print(f"repro: {report.repro_line(args.mode)}")
+            return 1
+        return 0
+    result = sweep.run(args.trials, base_seed=args.base_seed)
+    print(f"fault sweep: mode={args.mode} trials={len(result.reports)}")
+    for point, row in sorted(result.by_point().items()):
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(row.items()))
+        print(f"  {point:8s} {summary}")
+    status = 0
+    if result.failures:
+        print(f"{len(result.failures)} FAILURE(S):")
+        for report in result.failures:
+            print(f"  {report.outcome}: {report.detail}")
+            print(f"  repro: {report.repro_line(args.mode)}")
+        status = 1
+    else:
+        print("invariant held: every op succeeded, raised a typed TDB "
+              "error, or left a reported, healable quarantine")
+    if args.crash_sites:
+        sites = sweep.sweep_crash_sites(samples_per_point=2)
+        print(f"crash-under-faults: {len(sites)} site(s) swept clean")
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.testing")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -92,9 +130,25 @@ def main(argv=None) -> int:
                       help="replay a single sequence seed")
     diff.add_argument("--ops", type=int, default=50)
 
+    faults = sub.add_parser("faults", help="seeded I/O fault-tolerance sweep")
+    faults.add_argument("--mode", default="counter",
+                        choices=["counter", "direct"])
+    faults.add_argument("--trials", type=int, default=150)
+    faults.add_argument("--base-seed", type=int, default=0)
+    faults.add_argument("--seed", type=int, default=None,
+                        help="replay a single trial seed")
+    faults.add_argument("--point", default=None,
+                        help="pin the fault point when replaying a seed")
+    faults.add_argument("--rate", type=float, default=None,
+                        help="pin the error rate when replaying a seed")
+    faults.add_argument("--crash-sites", action="store_true",
+                        help="also run the crash-under-faults site sweep")
+
     args = parser.parse_args(argv)
     if args.command == "adversary":
         return _run_adversary(args)
+    if args.command == "faults":
+        return _run_faults(args)
     return _run_differential(args)
 
 

@@ -17,9 +17,12 @@ this package may use it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.platform.archival import MemoryArchivalStore
+from repro.platform.clock import Clock
 from repro.platform.crash import CrashInjector
+from repro.platform.faults import FaultInjector
 from repro.platform.secret_store import SecretStore
 from repro.platform.tamper_resistant import (
     TamperResistantCounter,
@@ -54,22 +57,30 @@ class PlatformSnapshot:
             counter_value=platform.counter.read(),
         )
 
-    def restore(self) -> TrustedPlatform:
+    def restore(
+        self,
+        fault_injector: Optional[FaultInjector] = None,
+        clock: Optional[Clock] = None,
+    ) -> TrustedPlatform:
         """Materialise a fresh, independent platform in the captured state.
 
         The returned platform has its own crash injector (disarmed) and
         empty I/O statistics; mutating it never affects the platform the
         snapshot was captured from, so one snapshot can seed any number of
-        adversary trials.
+        adversary trials.  An optional seeded ``fault_injector`` and fake
+        ``clock`` let fault-tolerance trials run the same way.
         """
         injector = CrashInjector()
-        untrusted = MemoryUntrustedStore(len(self.image), injector)
+        untrusted = MemoryUntrustedStore(len(self.image), injector, fault_injector)
         untrusted.tamper_replay(self.image)
         tamper_resistant = TamperResistantStore()
         if self.tr_data:
             tamper_resistant.write(self.tr_data)
         tamper_resistant.write_count = 0
         counter = TamperResistantCounter(self.counter_value)
+        kwargs = {}
+        if clock is not None:
+            kwargs["clock"] = clock
         return TrustedPlatform(
             secret_store=SecretStore(self.secret),
             tamper_resistant=tamper_resistant,
@@ -77,4 +88,6 @@ class PlatformSnapshot:
             untrusted=untrusted,
             archival=MemoryArchivalStore(),
             injector=injector,
+            faults=fault_injector,
+            **kwargs,
         )

@@ -39,6 +39,8 @@ def sample_sites(
     for point, occurrences in sorted(points.items()):
         if occurrences <= samples_per_point:
             picks = range(occurrences)
+        elif samples_per_point == 1:
+            picks = [0]
         else:
             step = (occurrences - 1) / (samples_per_point - 1)
             picks = sorted({round(i * step) for i in range(samples_per_point)})

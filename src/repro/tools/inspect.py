@@ -104,6 +104,13 @@ def trusted_view(store: ChunkStore) -> Dict[str, Any]:
             "misses": store.cache.misses,
         },
         "commits": store.commit_count_stat,
+        "io_health": {
+            "io_errors": store.platform.untrusted.stats.io_errors,
+            "retries": store.platform.untrusted.stats.retries,
+            "gave_up": store.platform.untrusted.stats.gave_up,
+            "quarantined_total": store.quarantined_total,
+            "quarantine": store.quarantined_chunks() or None,
+        },
     }
 
 

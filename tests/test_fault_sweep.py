@@ -1,0 +1,92 @@
+"""Fault-tolerance sweep: the succeed-or-typed-error-or-healable-
+quarantine invariant under seeded I/O fault injection.
+
+The quick sweep (tier 1) runs 150 trials per validation mode — 300 seeded
+trials total across every fault point × error rate cell (rates up to
+10%) — and requires zero silent corruptions and zero non-TDB exceptions.
+The slow-marked sweep deepens the run for nightly CI.  Any failure prints
+a ``make fault-sweep ...`` line that replays the exact seed.
+"""
+
+import pytest
+
+from repro.testing.faultsweep import (
+    FAILSTOP,
+    FOREIGN_FAULT_ERROR,
+    OK,
+    POINTS,
+    RATES,
+    SILENT_FAULT_CORRUPTION,
+    FaultSweep,
+)
+
+MODES = ["counter", "direct"]
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    """One scenario build per mode, shared by every test in the module
+    (trials restore from the snapshot, so sharing is safe)."""
+    return {mode: FaultSweep(mode) for mode in MODES}
+
+
+def _assert_no_failures(result):
+    lines = [
+        f"{r.outcome}: seed={r.seed} point={r.point} rate={r.rate} "
+        f"{r.detail}\n  repro: {r.repro_line(result.mode)}"
+        for r in result.failures
+    ]
+    assert not result.failures, (
+        f"{len(lines)} invariant violation(s) in mode={result.mode}:\n"
+        + "\n".join(lines)
+    )
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_fault_sweep(sweeps, mode):
+    """150 seeded fault trials per mode (300 total across the
+    parametrization, the ISSUE's acceptance bar), covering every fault
+    point and every rate up to 10%, with zero silent corruptions."""
+    result = sweeps[mode].run(150)
+    _assert_no_failures(result)
+    outcomes = result.outcomes()
+    assert outcomes.get(SILENT_FAULT_CORRUPTION, 0) == 0
+    assert outcomes.get(FOREIGN_FAULT_ERROR, 0) == 0
+    # coverage: every cell of the point × rate grid was exercised
+    cells = {(r.point, r.rate) for r in result.reports}
+    assert cells == {(p, r) for p in POINTS for r in RATES}
+    # sanity: the sweep is neither vacuous (everything trivially ok) nor
+    # degenerate (everything failing-stop)
+    assert outcomes.get(OK, 0) < len(result.reports)
+    assert outcomes.get(FAILSTOP, 0) < len(result.reports) // 2
+
+
+def test_trials_are_deterministic(sweeps):
+    sweep = sweeps["counter"]
+    first = sweep.run_trial(17)
+    again = sweep.run_trial(17)
+    assert first == again
+
+
+def test_pinned_point_and_rate(sweeps):
+    report = sweeps["counter"].run_trial(3, point="read", rate=0.1)
+    assert report.point == "read"
+    assert report.rate == 0.1
+    assert not report.failed
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_crash_under_faults_sweep(sweeps, mode):
+    """Fail-stop crashes at every discovered injection site, composed
+    with transient fault injection: recovery always lands on acceptable
+    bytes (the check itself raises on a violation)."""
+    sites = sweeps[mode].sweep_crash_sites(samples_per_point=2)
+    assert len(sites) >= 10  # the workload crosses plenty of crash points
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mode", MODES)
+def test_fault_sweep_deep(sweeps, mode):
+    """Nightly-depth: 500 trials per mode."""
+    result = sweeps[mode].run(500)
+    _assert_no_failures(result)

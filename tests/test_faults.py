@@ -1,0 +1,268 @@
+"""Unit tests for the I/O fault-injection layer: FaultInjector
+determinism and stickiness, RetryPolicy/Retrier backoff with an
+injectable clock, fault-free stats invariants, and LockManager deadlock
+timeouts on a fake clock (no test here sleeps on the wall clock)."""
+
+import random
+import time
+
+import pytest
+
+from repro.chunkstore import ChunkStore, ops
+from repro.errors import (
+    DeadlockError,
+    PermanentIOError,
+    RemoteTimeoutError,
+    TransientIOError,
+)
+from repro.objectstore.locks import LockManager
+from repro.platform import (
+    FakeClock,
+    FaultConfig,
+    FaultInjector,
+    MemoryUntrustedStore,
+    Retrier,
+    RetryPolicy,
+    TrustedPlatform,
+)
+
+from tests.conftest import make_config, make_platform
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector
+# ---------------------------------------------------------------------------
+
+
+def _drive(injector: FaultInjector, steps: int = 400):
+    """Run a fixed op schedule, returning the fault pattern observed."""
+    pattern = []
+    for i in range(steps):
+        for hook in ("read", "write", "flush", "trip"):
+            try:
+                if hook == "read":
+                    injector.on_read(i * 64, 64)
+                elif hook == "write":
+                    injector.on_write(i * 64, 64)
+                elif hook == "flush":
+                    injector.on_flush()
+                else:
+                    injector.on_round_trip("read")
+            except Exception as exc:
+                pattern.append((i, hook, type(exc).__name__))
+    return pattern
+
+
+def test_fault_injector_is_deterministic_per_seed():
+    config = FaultConfig(
+        read_error_rate=0.05,
+        write_error_rate=0.05,
+        flush_error_rate=0.05,
+        timeout_rate=0.05,
+        permanent_fraction=0.3,
+    )
+    a = _drive(FaultInjector(config, seed=7))
+    b = _drive(FaultInjector(config, seed=7))
+    c = _drive(FaultInjector(config, seed=8))
+    assert a == b
+    assert a != c
+    assert a, "a 5% rate over 1600 draws must inject something"
+
+
+def test_marked_bad_extent_is_sticky_until_cleared():
+    injector = FaultInjector(FaultConfig(), seed=0)
+    injector.enabled = False  # no random draws: only placed damage
+    injector.mark_bad(100, 50)
+    with pytest.raises(PermanentIOError):
+        injector.on_read(120, 10)  # overlap
+    with pytest.raises(PermanentIOError):
+        injector.on_write(90, 20)  # straddles the start
+    injector.on_read(150, 10)  # adjacent, no overlap
+    assert injector.counts["permanent.read"] == 1
+    injector.clear_bad(100, 50)
+    injector.on_read(120, 10)  # healed
+
+
+def test_permanent_fraction_capped_by_max_bad_extents():
+    config = FaultConfig(
+        read_error_rate=1.0, permanent_fraction=1.0, max_bad_extents=2
+    )
+    injector = FaultInjector(config, seed=1)
+    for i in range(5):
+        with pytest.raises((PermanentIOError, TransientIOError)):
+            injector.on_read(i * 1000, 10)
+    assert len(injector.bad_extents) == 2  # later faults degrade to transient
+
+
+def test_batch_truncation_only_for_real_batches():
+    config = FaultConfig(partial_response_rate=1.0)
+    injector = FaultInjector(config, seed=3)
+    assert injector.on_batch(1) == 1  # single extents cannot be truncated
+    answered = injector.on_batch(8)
+    assert 1 <= answered < 8
+
+
+def test_timeout_raises_remote_timeout():
+    injector = FaultInjector(FaultConfig(timeout_rate=1.0), seed=0)
+    with pytest.raises(RemoteTimeoutError):
+        injector.on_round_trip("flush")
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy / Retrier
+# ---------------------------------------------------------------------------
+
+
+def test_retry_policy_validates():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=2.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(deadline=0.0)
+
+
+def test_retry_delays_grow_and_cap():
+    policy = RetryPolicy(
+        base_delay=0.01, multiplier=2.0, max_delay=0.05, jitter=0.0
+    )
+    rng = random.Random(0)
+    delays = [policy.delay_for(i, rng) for i in range(5)]
+    assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+
+def test_retrier_retries_transients_then_succeeds_without_sleeping():
+    clock = FakeClock()
+    stats = MemoryUntrustedStore(1024).stats
+    retrier = Retrier(
+        RetryPolicy(max_attempts=4, jitter=0.0), clock=clock, stats=stats
+    )
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise TransientIOError("flaky")
+        return "ok"
+
+    wall = time.monotonic()
+    assert retrier.call(flaky) == "ok"
+    assert time.monotonic() - wall < 0.5  # backoff on the fake clock only
+    assert len(calls) == 3
+    assert stats.retries == 2
+    assert stats.gave_up == 0
+    assert clock.sleeps == [0.005, 0.01]  # exponential schedule, no jitter
+
+
+def test_retrier_gives_up_after_max_attempts():
+    clock = FakeClock()
+    stats = MemoryUntrustedStore(1024).stats
+    retrier = Retrier(RetryPolicy(max_attempts=3), clock=clock, stats=stats)
+    with pytest.raises(TransientIOError):
+        retrier.call(lambda: (_ for _ in ()).throw(TransientIOError("x")))
+    assert stats.gave_up == 1
+    assert stats.retries == 2
+
+
+def test_retrier_respects_deadline():
+    clock = FakeClock()
+    retrier = Retrier(
+        RetryPolicy(max_attempts=100, base_delay=1.0, max_delay=1.0,
+                    deadline=2.5, jitter=0.0),
+        clock=clock,
+    )
+    attempts = []
+
+    def always_fails():
+        attempts.append(1)
+        raise TransientIOError("down")
+
+    with pytest.raises(TransientIOError):
+        retrier.call(always_fails)
+    assert len(attempts) == 3  # 0s, 1s, 2s; the next delay breaks 2.5s
+
+
+def test_permanent_faults_are_not_retried():
+    retrier = Retrier(RetryPolicy(), clock=FakeClock())
+    attempts = []
+
+    def dead():
+        attempts.append(1)
+        raise PermanentIOError("bad sector")
+
+    with pytest.raises(PermanentIOError):
+        retrier.call(dead)
+    assert len(attempts) == 1
+
+
+# ---------------------------------------------------------------------------
+# fault-free runs report all-zero fault counters (satellite property test)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_fault_free_runs_report_zero_fault_counters(seed):
+    """Property: with no fault injector, a seeded random workload's stats
+    always show io_errors == retries == gave_up == quarantined == 0."""
+    rng = random.Random(seed)
+    platform = make_platform()
+    store = ChunkStore.format(platform, make_config())
+    pid = store.allocate_partition()
+    store.commit([ops.WritePartition(pid, cipher_name="ctr-sha256")])
+    written = set()
+    for step in range(rng.randint(5, 15)):
+        roll = rng.random()
+        if roll < 0.6 or not written:
+            rank = rng.randrange(4)
+            state = store.partitions[pid]
+            if not (rank in state.pending_ranks
+                    or state.is_committed_written(rank)):
+                state.allocate_specific(rank)
+            store.commit([ops.WriteChunk(pid, rank, rng.randbytes(64))])
+            written.add(rank)
+        elif roll < 0.8:
+            store.read_chunk(pid, rng.choice(sorted(written)))
+        else:
+            store.checkpoint()
+    stats = store.stats()
+    assert stats["untrusted"]["io_errors"] == 0
+    assert stats["untrusted"]["retries"] == 0
+    assert stats["untrusted"]["gave_up"] == 0
+    assert stats["faults"]["quarantined"] == 0
+    assert stats["faults"]["quarantine_active"] == 0
+    assert store.quarantined_chunks() == {}
+
+
+# ---------------------------------------------------------------------------
+# LockManager on an injectable clock (satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_lock_timeout_uses_injected_clock_without_wall_sleep():
+    clock = FakeClock()
+    locks = LockManager(timeout=2.0, clock=clock)
+    locks.acquire_exclusive(1, "obj")
+    wall = time.monotonic()
+    with pytest.raises(DeadlockError):
+        locks.acquire_exclusive(2, "obj")  # 2s timeout on the fake clock
+    assert time.monotonic() - wall < 0.5
+    assert clock.now() >= 2.0
+    assert locks.deadlocks_broken == 1
+    # tx 1 still holds the lock; releasing lets a newcomer in instantly
+    locks.release_all(1)
+    locks.acquire_exclusive(3, "obj")
+
+
+def test_platform_clock_is_shared_with_object_store_locks():
+    from repro.objectstore.store import ObjectStore
+
+    clock = FakeClock()
+    platform = TrustedPlatform.create_in_memory(
+        untrusted_size=4 * 1024 * 1024, clock=clock
+    )
+    store = ChunkStore.format(platform, make_config())
+    objects = ObjectStore(store)
+    assert objects.locks.clock is clock
+    assert store.retrier.clock is clock

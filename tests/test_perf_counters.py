@@ -81,7 +81,8 @@ class TestStoreStats:
         store.read_chunk(pid, rank)
         stats = store.stats()
         assert set(stats) == {
-            "crypto", "hashing", "cache", "log", "commits", "untrusted"
+            "crypto", "hashing", "cache", "log", "commits", "untrusted",
+            "faults",
         }
         # system cipher is ctr-sha256 in the test config, and the partition
         # uses it too, so one aggregated entry carries all the bytes
