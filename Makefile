@@ -15,7 +15,7 @@ SEEDS ?= 20
 OPS ?= 50
 FAULT_TRIALS ?= 150
 
-.PHONY: install test test-fast bench bench-crypto report examples lint all \
+.PHONY: install test test-fast bench bench-crypto bench-store report examples lint all \
 	adversary adversary-sweep differential fault-sweep
 
 install:
@@ -32,6 +32,9 @@ bench:
 
 bench-crypto:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.crypto_bench --out BENCH_crypto.json
+
+bench-store:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.store_bench --out BENCH_store.json
 
 report:
 	$(PYTHON) -m repro.bench.report

@@ -1,0 +1,267 @@
+"""Read-path benchmark: ``python -m repro.bench.store_bench``.
+
+Measures the chunk-store read path end-to-end on an in-memory platform,
+with a deliberately slow partition cipher (pure-Python xtea-cbc) so the
+validated-payload cache's savings — skipped decrypt + hash + device reads
+— dominate timing noise:
+
+* ``write`` — populate the store (one commit per small batch);
+* ``recovery`` — close with a residual log and reopen (roll-forward now
+  reads each log segment in one ``read_many`` span);
+* ``cold_read`` — first read of every chunk through ``read_chunks``:
+  batched map walk + batched data-extent fetch, payload cache cold;
+* ``warm_read`` — repeated re-reads served by the validated-payload
+  cache (no device, cipher, or hasher work);
+* ``uncached_read`` — the same repeated reads with the payload cache
+  disabled (``payload_cache_bytes=0``): the pre-cache baseline;
+* ``scan`` — round-trip counts for a full scan, batched vs one read per
+  chunk.
+
+Results go to ``BENCH_store.json``; ``--check`` exits non-zero unless the
+acceptance floors hold (warm repeated-read throughput ≥ 5× the uncached
+baseline, and the warm pass issues fewer device round trips than the cold
+pass), which CI uses as a perf-regression smoke test.  ``--tiny`` shrinks
+the run for CI smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+from repro.chunkstore import ChunkStore, StoreConfig, ops
+from repro.platform.trusted_platform import TrustedPlatform
+
+#: acceptance floor: warm payload-cache reads over the uncached baseline
+WARM_SPEEDUP_FLOOR = 5.0
+
+#: the bench partition's cipher/hash: the slowest registered pair, i.e.
+#: the configuration where the read path's crypto cost is most visible
+PARTITION_CIPHER = "xtea-cbc"
+PARTITION_HASH = "sha256"
+
+
+def _config(payload_cache: bool = True) -> StoreConfig:
+    return StoreConfig(
+        segment_size=64 * 1024,
+        system_cipher="ctr-sha256",
+        system_hash="sha1",
+        validation_mode="counter",
+        delta_ut=5,
+        payload_cache_bytes=StoreConfig.payload_cache_bytes if payload_cache else 0,
+    )
+
+
+def run(chunks: int, chunk_size: int, repeats: int) -> Dict[str, object]:
+    platform = TrustedPlatform.create_in_memory(untrusted_size=16 * 1024 * 1024)
+    io = platform.untrusted.stats
+    results: Dict[str, object] = {
+        "chunks": chunks,
+        "chunk_size": chunk_size,
+        "repeats": repeats,
+        "partition_cipher": PARTITION_CIPHER,
+        "partition_hash": PARTITION_HASH,
+    }
+
+    # -- write ---------------------------------------------------------------
+    store = ChunkStore.format(platform, _config())
+    pid = store.allocate_partition()
+    store.commit(
+        [ops.WritePartition(pid, cipher_name=PARTITION_CIPHER,
+                            hash_name=PARTITION_HASH)]
+    )
+    payload = bytes(i & 0xFF for i in range(chunk_size))
+    before = io.snapshot()
+    start = time.perf_counter()
+    for base in range(0, chunks, 8):
+        batch = range(base, min(base + 8, chunks))
+        for rank in batch:
+            store.partitions[pid].allocate_specific(rank)
+        store.commit([ops.WriteChunk(pid, rank, payload) for rank in batch])
+    elapsed = time.perf_counter() - start
+    delta = io.delta(before)
+    results["write"] = {
+        "seconds": round(elapsed, 4),
+        "ops_per_sec": round(chunks / elapsed, 1),
+        "round_trips": delta.reads + delta.writes + delta.flushes,
+    }
+    store.checkpoint()
+    # leave a residual log so recovery below has roll-forward work to do
+    store.commit([ops.WriteChunk(pid, rank, payload) for rank in range(4)])
+    store.close(checkpoint=False)
+
+    # -- recovery ------------------------------------------------------------
+    before = io.snapshot()
+    start = time.perf_counter()
+    store = ChunkStore.open(platform, _config())
+    elapsed = time.perf_counter() - start
+    delta = io.delta(before)
+    results["recovery"] = {
+        "seconds": round(elapsed, 4),
+        "reads": delta.reads,
+        "batched_reads": delta.batched_reads,
+        "batched_extents": delta.batched_extents,
+    }
+
+    ranks = list(range(chunks))
+
+    # -- cold read (payload cache empty, batched walk + fetch) ---------------
+    before = io.snapshot()
+    start = time.perf_counter()
+    cold = store.read_chunks(pid, ranks)
+    cold_elapsed = time.perf_counter() - start
+    cold_delta = io.delta(before)
+    assert all(cold[rank] == payload for rank in ranks)
+    results["cold_read"] = {
+        "seconds": round(cold_elapsed, 4),
+        "ops_per_sec": round(chunks / cold_elapsed, 1),
+        "round_trips": cold_delta.reads,
+        "batched_reads": cold_delta.batched_reads,
+        "batched_extents": cold_delta.batched_extents,
+    }
+
+    # -- warm read (validated-payload cache hot) -----------------------------
+    before = io.snapshot()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for rank in ranks:
+            store.read_chunk(pid, rank)
+    warm_elapsed = time.perf_counter() - start
+    warm_delta = io.delta(before)
+    results["warm_read"] = {
+        "seconds": round(warm_elapsed, 4),
+        "ops_per_sec": round(chunks * repeats / warm_elapsed, 1),
+        "round_trips": warm_delta.reads,
+    }
+    results["payload_cache"] = store.payloads.stats()
+    results["walk"] = store.stats()["walk"]
+    store.close(checkpoint=False)
+
+    # -- uncached baseline (payload cache disabled) --------------------------
+    store = ChunkStore.open(platform, _config(payload_cache=False))
+    for rank in ranks:  # warm the descriptor cache; payloads stay uncached
+        store.read_chunk(pid, rank)
+    before = io.snapshot()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for rank in ranks:
+            store.read_chunk(pid, rank)
+    uncached_elapsed = time.perf_counter() - start
+    uncached_delta = io.delta(before)
+    results["uncached_read"] = {
+        "seconds": round(uncached_elapsed, 4),
+        "ops_per_sec": round(chunks * repeats / uncached_elapsed, 1),
+        "round_trips": uncached_delta.reads,
+    }
+
+    # -- scan round trips: batched vs one device read per chunk --------------
+    before = io.snapshot()
+    for rank in ranks:
+        store.read_chunk(pid, rank)
+    single_delta = io.delta(before)
+    store.close(checkpoint=False)
+    store = ChunkStore.open(platform, _config())
+    store.read_chunks(pid, ranks[:1])  # prime descriptors via the walk
+    store.payloads.clear()
+    before = io.snapshot()
+    store.read_chunks(pid, ranks)
+    batched_delta = io.delta(before)
+    results["scan"] = {
+        "single_round_trips": single_delta.reads,
+        "batched_round_trips": batched_delta.reads,
+        "round_trips_saved": single_delta.reads - batched_delta.reads,
+    }
+    store.close()
+
+    warm_ops = results["warm_read"]["ops_per_sec"]
+    uncached_ops = results["uncached_read"]["ops_per_sec"]
+    results["warm_speedup_vs_uncached"] = round(warm_ops / uncached_ops, 2)
+    results["floors"] = {"warm_speedup": WARM_SPEEDUP_FLOOR}
+    return results
+
+
+def check(results: Dict[str, object]) -> int:
+    """Enforce the acceptance floors; returns a process exit status."""
+    failed = False
+    speedup = results["warm_speedup_vs_uncached"]
+    if speedup < WARM_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: warm reads are {speedup:.1f}x the uncached baseline, "
+            f"floor is {WARM_SPEEDUP_FLOOR:.1f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    warm_trips = results["warm_read"]["round_trips"]
+    cold_trips = results["cold_read"]["round_trips"]
+    if warm_trips >= cold_trips:
+        print(
+            f"FAIL: warm pass issued {warm_trips} round trips, cold pass "
+            f"{cold_trips} (warm must be fewer)",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print("acceptance floors met")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_store.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--chunks", type=int, default=48,
+        help="data chunks (≤ 64 keeps the location map at height 1)"
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=4096, help="chunk body bytes"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="re-read passes (warm/uncached)"
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke sizing (8 chunks, 2 repeats)"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless the acceptance floors are met"
+    )
+    args = parser.parse_args(argv)
+    if args.tiny:
+        args.chunks, args.repeats = 8, 2
+
+    results = run(args.chunks, args.chunk_size, args.repeats)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    for section in ("write", "cold_read", "warm_read", "uncached_read"):
+        entry = results[section]
+        print(
+            f"{section:>13}: {entry['ops_per_sec']:10.1f} ops/s  "
+            f"({entry['seconds']:.4f} s, {entry['round_trips']} round trips)"
+        )
+    scan = results["scan"]
+    print(
+        f"{'scan':>13}: {scan['batched_round_trips']} batched vs "
+        f"{scan['single_round_trips']} single round trips "
+        f"({scan['round_trips_saved']} saved)"
+    )
+    print(
+        f"warm speedup vs uncached: "
+        f"{results['warm_speedup_vs_uncached']:.1f}x"
+    )
+    print(f"wrote {args.out}")
+    if args.check:
+        return check(results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

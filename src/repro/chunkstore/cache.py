@@ -40,6 +40,7 @@ class DescriptorCache:
         self._by_partition: Dict[int, Set[ChunkId]] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # -- partition index -----------------------------------------------------
 
@@ -77,6 +78,7 @@ class DescriptorCache:
         self._index_add(chunk_id)
         while len(self._clean) > self._max_clean:
             evicted, _ = self._clean.popitem(last=False)
+            self.evictions += 1
             self._index_discard(evicted)
 
     def put_dirty(self, chunk_id: ChunkId, descriptor: ChunkDescriptor) -> None:
@@ -111,6 +113,7 @@ class DescriptorCache:
         self._dirty.clear()
         while len(self._clean) > self._max_clean:
             evicted, _ = self._clean.popitem(last=False)
+            self.evictions += 1
             self._index_discard(evicted)
 
     def clear(self) -> None:
@@ -124,7 +127,122 @@ class DescriptorCache:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "clean_entries": len(self._clean),
             "dirty_entries": len(self._dirty),
             "partitions_indexed": len(self._by_partition),
+        }
+
+
+class ValidatedChunkCache:
+    """Byte-bounded LRU of decrypted, hash-verified data-chunk payloads.
+
+    Sits beside the :class:`DescriptorCache` in the read path: a hit skips
+    the device round trip, the cipher, *and* the hasher.  Correctness rests
+    on a strict population rule — entries are inserted **only** after a
+    successful validated read (never write-through), so a cached payload is
+    always bytes the hash-link path has already vouched for.
+
+    Coherence is the store's responsibility: every event that can change or
+    invalidate a chunk's committed bytes (write, deallocate, abort
+    eviction, partition drop/reset, quarantine, repair, crash recovery)
+    must call :meth:`invalidate` / :meth:`drop_partition` / :meth:`clear`.
+    """
+
+    def __init__(self, max_bytes: int = 0) -> None:
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[ChunkId, bytes]" = OrderedDict()
+        self._by_partition: Dict[int, Set[ChunkId]] = {}
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        #: hits that were satisfied by a prefetched entry's first use
+        self.prefetch_hits = 0
+        self._prefetched: Set[ChunkId] = set()
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_bytes > 0
+
+    def get(self, chunk_id: ChunkId) -> Optional[bytes]:
+        payload = self._entries.get(chunk_id)
+        if payload is None:
+            if self.enabled:
+                self.misses += 1
+            return None
+        self._entries.move_to_end(chunk_id)
+        self.hits += 1
+        if chunk_id in self._prefetched:
+            self._prefetched.discard(chunk_id)
+            self.prefetch_hits += 1
+        return payload
+
+    def contains(self, chunk_id: ChunkId) -> bool:
+        """Membership probe that perturbs neither counters nor recency."""
+        return chunk_id in self._entries
+
+    def put(
+        self, chunk_id: ChunkId, payload: bytes, prefetched: bool = False
+    ) -> None:
+        if not self.enabled or len(payload) > self.max_bytes:
+            return
+        old = self._entries.pop(chunk_id, None)
+        if old is not None:
+            self.current_bytes -= len(old)
+        self._entries[chunk_id] = payload
+        self.current_bytes += len(payload)
+        if prefetched:
+            self._prefetched.add(chunk_id)
+        else:
+            self._prefetched.discard(chunk_id)
+        self._by_partition.setdefault(chunk_id.partition, set()).add(chunk_id)
+        while self.current_bytes > self.max_bytes:
+            evicted, blob = self._entries.popitem(last=False)
+            self.current_bytes -= len(blob)
+            self.evictions += 1
+            self._forget(evicted)
+
+    def invalidate(self, chunk_id: ChunkId) -> None:
+        payload = self._entries.pop(chunk_id, None)
+        if payload is None:
+            return
+        self.current_bytes -= len(payload)
+        self.invalidations += 1
+        self._forget(chunk_id)
+
+    def drop_partition(self, partition: int) -> None:
+        for cid in self._by_partition.pop(partition, ()):
+            payload = self._entries.pop(cid, None)
+            if payload is not None:
+                self.current_bytes -= len(payload)
+                self.invalidations += 1
+            self._prefetched.discard(cid)
+
+    def clear(self) -> None:
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+        self._by_partition.clear()
+        self._prefetched.clear()
+        self.current_bytes = 0
+
+    def _forget(self, chunk_id: ChunkId) -> None:
+        self._prefetched.discard(chunk_id)
+        ids = self._by_partition.get(chunk_id.partition)
+        if ids is not None:
+            ids.discard(chunk_id)
+            if not ids:
+                del self._by_partition[chunk_id.partition]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "prefetch_hits": self.prefetch_hits,
+            "entries": len(self._entries),
+            "bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
         }

@@ -33,7 +33,7 @@ from typing import List, Optional, Tuple
 from repro.chunkstore.descriptor import ChunkDescriptor, ChunkStatus
 from repro.chunkstore.ids import SYSTEM_PARTITION, ChunkId, leader_id
 from repro.chunkstore.log import CleanerRecord, VersionKind
-from repro.errors import TamperDetectedError
+from repro.errors import IOFaultError, TamperDetectedError
 
 
 logger = logging.getLogger("repro.chunkstore.cleaner")
@@ -98,12 +98,28 @@ class Cleaner:
         end = start + segman.used_bytes[segment]
         cursor = start
 
+        # one round trip for the whole used span instead of two reads per
+        # version; a faulted span read falls back to the per-version path
+        span: Optional[bytes] = None
+        if end > start:
+            try:
+                (span,) = store._io_read_many([(start, end - start)])
+            except IOFaultError:
+                span = None
+
+        def read_at(offset: int, size: int) -> bytes:
+            # a tampered header may declare a body past the buffered span;
+            # the device read preserves the unbuffered failure behavior
+            if span is not None and offset - start + size <= len(span):
+                return span[offset - start : offset - start + size]
+            return store._io_read(offset, size)
+
         #: (chunk id, plaintext body, partitions where current)
         survivors: List[Tuple[ChunkId, bytes, List[int]]] = []
         while cursor < end:
-            header_ct = store._io_read(cursor, codec.header_cipher_size)
+            header_ct = read_at(cursor, codec.header_cipher_size)
             header = codec.parse_header(header_ct)  # raises TamperDetected
-            body_ct = store._io_read(
+            body_ct = read_at(
                 cursor + codec.header_cipher_size, header.body_cipher_size
             )
             version_len = codec.header_cipher_size + header.body_cipher_size

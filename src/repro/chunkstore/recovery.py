@@ -55,7 +55,7 @@ from repro.chunkstore.log import (
     VersionKind,
 )
 from repro.chunkstore.partition import PartitionState
-from repro.errors import TamperDetectedError
+from repro.errors import IOFaultError, TamperDetectedError
 
 
 logger = logging.getLogger("repro.chunkstore.recovery")
@@ -78,26 +78,62 @@ class _Recovery:
         self.segman = store.segman
         self.untrusted = store.platform.untrusted
         self.direct = self.config.validation_mode == "direct"
+        #: whole-segment spans buffered for the roll-forward, keyed by
+        #: segment index; ``None`` marks a span whose batched read faulted
+        #: (those segments fall back to the per-version read path so
+        #: retries and quarantine semantics stay byte-for-byte identical)
+        self._spans: dict = {}
 
     # -- plumbing -------------------------------------------------------------
+
+    def _segment_bytes(self, segment: int) -> Optional[bytes]:
+        """The segment's whole span, fetched in one round trip on first
+        touch.  Recovery never writes the log, so the buffer cannot go
+        stale; a fault disables buffering for that segment only."""
+        if segment not in self._spans:
+            start = self.segman.segment_start(segment)
+            try:
+                (blob,) = self.store._io_read_many(
+                    [(start, self.config.segment_size)]
+                )
+                self._spans[segment] = blob
+            except IOFaultError:
+                self._spans[segment] = None
+        return self._spans[segment]
 
     def _read_version(self, location: int) -> Tuple[VersionHeader, bytes, bytes]:
         """Read one version; returns (header, header_ct, body_ct).
 
-        Raises TamperDetectedError if the bytes do not parse as a version
-        (in counter mode the caller converts a failure at the log tail
-        into a torn-commit truncation).
+        Served from the segment-span buffer (one round trip per residual
+        segment instead of two per version); raises TamperDetectedError if
+        the bytes do not parse as a version (in counter mode the caller
+        converts a failure at the log tail into a torn-commit truncation).
         """
         header_size = self.codec.header_cipher_size
         segment = self.segman.segment_of(location)
-        segment_end = self.segman.segment_start(segment) + self.config.segment_size
+        segment_start = self.segman.segment_start(segment)
+        segment_end = segment_start + self.config.segment_size
         if location + header_size > segment_end:
             raise TamperDetectedError("version header crosses a segment boundary")
-        header_ct = self.store._io_read(location, header_size)
+        span = self._segment_bytes(segment)
+        if span is None:  # the span read faulted: per-version fallback
+            header_ct = self.store._io_read(location, header_size)
+            header = self.codec.parse_header(header_ct)
+            if location + header_size + header.body_cipher_size > segment_end:
+                raise TamperDetectedError(
+                    "version body crosses a segment boundary"
+                )
+            body_ct = self.store._io_read(
+                location + header_size, header.body_cipher_size
+            )
+            return header, header_ct, body_ct
+        offset = location - segment_start
+        header_ct = span[offset : offset + header_size]
         header = self.codec.parse_header(header_ct)
         if location + header_size + header.body_cipher_size > segment_end:
             raise TamperDetectedError("version body crosses a segment boundary")
-        body_ct = self.store._io_read(location + header_size, header.body_cipher_size)
+        body_start = offset + header_size
+        body_ct = span[body_start : body_start + header.body_cipher_size]
         return header, header_ct, body_ct
 
     # -- main ----------------------------------------------------------------
@@ -132,6 +168,10 @@ class _Recovery:
             raise TamperDetectedError("leader payload lacks system extras")
         store.partitions.clear()
         store.cache.clear()
+        # crash recovery invalidates every cached payload: the committed
+        # state is being reconstructed from the durable log
+        store.payloads.clear()
+        store._read_cursor.clear()
         store.partitions[SYSTEM_PARTITION] = PartitionState.open(
             SYSTEM_PARTITION, payload, key_override=store._system_key
         )

@@ -53,7 +53,7 @@ from typing import (
 )
 
 from repro.bench.profiler import profiled
-from repro.chunkstore.cache import DescriptorCache
+from repro.chunkstore.cache import DescriptorCache, ValidatedChunkCache
 from repro.chunkstore.config import StoreConfig, mac_key, system_cipher_key
 from repro.chunkstore.descriptor import (
     ChunkDescriptor,
@@ -99,6 +99,7 @@ from repro.errors import (
     QuarantineError,
     StorageFullError,
     TamperDetectedError,
+    TDBError,
 )
 from repro.platform.retry import Retrier
 from repro.platform.trusted_platform import TrustedPlatform
@@ -138,6 +139,18 @@ class ChunkStore:
             config.superblock_size, config.segment_size, platform.untrusted.size
         )
         self.cache = DescriptorCache(config.cache_size)
+        #: validated-payload cache: decrypted, hash-verified chunk bodies
+        #: (hits skip the device, the cipher, and the hasher entirely)
+        self.payloads = ValidatedChunkCache(config.payload_cache_bytes)
+        #: read-path batching counters (surfaced in stats()["walk"])
+        self.walk_batches = 0
+        self.walk_map_chunks_fetched = 0
+        self.walk_round_trips_saved = 0
+        self.chunk_batches = 0
+        self.chunk_batch_fetched = 0
+        self.prefetch_issued = 0
+        #: sequential-read detector per partition: pid -> (last rank, run)
+        self._read_cursor: Dict[int, Tuple[int, int]] = {}
         self.retrier = Retrier(
             config.retry_policy,
             clock=platform.clock,
@@ -407,21 +420,89 @@ class ChunkStore:
             if cid.rank == 0:
                 return state.payload.root
             return ChunkDescriptor()
-        parent = cid.parent(self.config.fanout)
-        parent_desc = self._get_descriptor(parent)
-        if not parent_desc.is_written():
-            return ChunkDescriptor()
-        body = self._read_validated(parent, parent_desc, state)
+        fanout = self.config.fanout
+        # Ascend to the first ancestor whose descriptor is already known
+        # (cached, or the root level), collecting the uncached map path.
+        chain: List[ChunkId] = []  # uncached ancestors of cid, bottom-up
+        node = cid.parent(fanout)
+        descriptor: Optional[ChunkDescriptor] = None
+        while True:
+            known = self.cache.get(node)
+            if known is not None:
+                descriptor = known
+                break
+            if node.height == height:
+                descriptor = (
+                    state.payload.root if node.rank == 0 else ChunkDescriptor()
+                )
+                break
+            chain.append(node)
+            node = node.parent(fanout)
+        # Descend, fetching each map chunk's header+body in one batched
+        # round trip instead of the old two reads per level.
+        for next_id in list(reversed(chain)) + [cid]:
+            if not descriptor.is_written():
+                return ChunkDescriptor()
+            vector = self._load_map_chunks(state, [(node, descriptor)])[0]
+            node, descriptor = next_id, vector[next_id.rank % fanout]
+        return descriptor
+
+    def _decode_map_body(self, map_id: ChunkId, body: bytes) -> List[ChunkDescriptor]:
         descriptors = decode_descriptor_vector(body)
         if len(descriptors) != self.config.fanout:
             raise TamperDetectedError(
-                f"map chunk {parent} has {len(descriptors)} slots, "
+                f"map chunk {map_id} has {len(descriptors)} slots, "
                 f"expected {self.config.fanout}"
             )
-        for slot, descriptor in enumerate(descriptors):
-            self.cache.put_clean(parent.child(self.config.fanout, slot), descriptor)
-        result = self.cache.get(cid)
-        return result if result is not None else ChunkDescriptor()
+        return descriptors
+
+    def _load_map_chunks(
+        self,
+        state: PartitionState,
+        items: Sequence[Tuple[ChunkId, ChunkDescriptor]],
+    ) -> List[List[ChunkDescriptor]]:
+        """Fetch, validate, and decode written map chunks of one partition
+        in a single untrusted round trip; returns their descriptor vectors
+        (aligned with ``items``) and caches every child descriptor.
+
+        On an I/O fault the whole batch falls back to per-chunk validated
+        reads so retries and quarantine land on the precise extent."""
+        for map_id, _descriptor in items:
+            key = str(map_id)
+            if self._quarantine.get(key) == "io":
+                raise QuarantineError(key, "io")
+        self.logbuf.seal()  # an extent may sit in the pending span
+        extents: List[Tuple[int, int]] = []
+        for map_id, descriptor in items:
+            try:
+                self._check_extent(map_id, descriptor)
+            except TamperDetectedError:
+                self._quarantine_chunk(map_id, "tamper")
+                raise
+            extents.append((descriptor.location, descriptor.length))
+        try:
+            blobs: Optional[List[bytes]] = self._io_read_many(extents)
+            self.walk_batches += 1
+            self.walk_map_chunks_fetched += len(items)
+            # versus the unbatched path: two reads (header, body) per map
+            # chunk, minus the one round trip this batch cost
+            self.walk_round_trips_saved += 2 * len(items) - 1
+        except IOFaultError:
+            blobs = None  # fall back so the fault pins the right chunk
+        vectors: List[List[ChunkDescriptor]] = []
+        if blobs is not None:
+            for (map_id, descriptor), raw in zip(items, blobs):
+                body = self._validate_raw_version(map_id, descriptor, state, raw)
+                vectors.append(self._decode_map_body(map_id, body))
+        else:
+            for map_id, descriptor in items:
+                body = self._read_validated(map_id, descriptor, state)
+                vectors.append(self._decode_map_body(map_id, body))
+        fanout = self.config.fanout
+        for (map_id, _descriptor), vector in zip(items, vectors):
+            for slot, child in enumerate(vector):
+                self.cache.put_clean(map_id.child(fanout, slot), child)
+        return vectors
 
     # ------------------------------------------------------------------
     # reading and validating versions
@@ -439,6 +520,33 @@ class ChunkStore:
                 return self.platform.untrusted.read(location, size)
 
         return self.retrier.call(issue, "read")
+
+    def _io_read_many(self, extents: List[Tuple[int, int]]) -> List[bytes]:
+        """One batched untrusted-store round trip, retried like
+        :meth:`_io_read` (the whole batch is re-issued on a transient
+        fault)."""
+
+        def issue() -> List[bytes]:
+            with profiled("untrusted store read"):
+                return self.platform.untrusted.read_many(extents)
+
+        return self.retrier.call(issue, "read_many")
+
+    def _check_extent(self, cid: ChunkId, descriptor: ChunkDescriptor) -> None:
+        """Bounds-check a descriptor's extent before issuing the read.
+
+        Descriptors arrive hash-validated, so an implausible extent means
+        the validation chain itself was subverted — tampering, not I/O."""
+        location, length = descriptor.location, descriptor.length
+        if (
+            length < self.codec.header_cipher_size
+            or location < self.config.superblock_size
+            or location + length > self.platform.untrusted.size
+        ):
+            raise TamperDetectedError(
+                f"chunk {cid}: descriptor extent [{location}, "
+                f"{location + length}) is implausible"
+            )
 
     def _read_version_at(self, location: int) -> Tuple[VersionHeader, bytes]:
         """Read and parse one version; returns (header, body ciphertext).
@@ -466,38 +574,40 @@ class ChunkStore:
         )
         return header, body_ct
 
-    def _quarantine_chunk(self, key: str, cause: str) -> None:
+    def _quarantine_chunk(self, cid: ChunkId, cause: str) -> None:
+        key = str(cid)
         if key not in self._quarantine:
             self.quarantined_total += 1
             logger.warning("quarantining chunk %s (%s)", key, cause)
         if cause == "io" or key not in self._quarantine:
             self._quarantine[key] = cause
+        self.payloads.invalidate(cid)
 
-    def _read_validated(
-        self, cid: ChunkId, descriptor: ChunkDescriptor, state: PartitionState
+    def _validate_raw_version(
+        self,
+        cid: ChunkId,
+        descriptor: ChunkDescriptor,
+        state: PartitionState,
+        raw: bytes,
     ) -> bytes:
-        """Read the version ``descriptor`` points at, decrypt it with the
-        partition cipher, and validate it against the descriptor hash.
-
-        Degraded mode: an extent unreadable after retries quarantines the
-        chunk (``QuarantineError``) instead of poisoning the store, and
-        later reads short-circuit until scrub clears the entry for a
-        fresh attempt.  Validation failures still raise
-        :class:`TamperDetectedError` on every read — the security verdict
-        never changes — but are recorded so scrub can target repair."""
+        """Parse, decrypt, and hash-validate one version read as a single
+        extent (``raw`` spans header and body ciphertext).  Validation
+        failures raise :class:`TamperDetectedError` on every read — the
+        security verdict never changes — but are recorded so scrub can
+        target repair."""
         key = str(cid)
-        if self._quarantine.get(key) == "io":
-            raise QuarantineError(key, "io")
         try:
-            header, body_ct = self._read_version_at(descriptor.location)
-        except IOFaultError as exc:
-            self._quarantine_chunk(key, "io")
-            raise QuarantineError(key, "io") from exc
-        except TamperDetectedError:
-            # a tampered *header* (undecryptable / malformed / absurd size)
-            self._quarantine_chunk(key, "tamper")
-            raise
-        try:
+            header = self.codec.parse_header(
+                raw[: self.codec.header_cipher_size]
+            )
+            if (
+                self.codec.header_cipher_size + header.body_cipher_size
+                != len(raw)
+            ):
+                raise TamperDetectedError(
+                    f"chunk {cid}: header declares an implausible body size "
+                    f"{header.body_cipher_size}"
+                )
             if header.kind != VersionKind.NAMED:
                 raise TamperDetectedError(f"chunk {cid}: version kind mismatch")
             if (header.height, header.rank) != (cid.height, cid.rank):
@@ -506,21 +616,67 @@ class ChunkStore:
                     f"does not match"
                 )
             with profiled("encryption"):
-                body = self.codec.decrypt_body(header, body_ct, state.cipher)
+                body = self.codec.decrypt_body(
+                    header, raw[self.codec.header_cipher_size :], state.cipher
+                )
             with profiled("hashing"):
                 computed = self.codec.descriptor_hash(header, body, state.hash)
             if computed != descriptor.body_hash:
                 raise TamperDetectedError(f"chunk {cid}: hash mismatch")
         except TamperDetectedError:
-            self._quarantine_chunk(key, "tamper")
+            self._quarantine_chunk(cid, "tamper")
             raise
         self._quarantine.pop(key, None)  # a clean read heals the entry
         return body
 
-    def _read_chunk_body(self, cid: ChunkId) -> bytes:
+    def _read_validated(
+        self, cid: ChunkId, descriptor: ChunkDescriptor, state: PartitionState
+    ) -> bytes:
+        """Read the version ``descriptor`` points at, decrypt it with the
+        partition cipher, and validate it against the descriptor hash.
+
+        The descriptor's length covers header and body, so the whole
+        version arrives in one device read (the old path cost two).
+
+        Degraded mode: an extent unreadable after retries quarantines the
+        chunk (``QuarantineError``) instead of poisoning the store, and
+        later reads short-circuit until scrub clears the entry for a
+        fresh attempt."""
+        key = str(cid)
+        if self._quarantine.get(key) == "io":
+            raise QuarantineError(key, "io")
+        self.logbuf.seal()  # the extent may sit in the pending span
+        try:
+            self._check_extent(cid, descriptor)
+        except TamperDetectedError:
+            self._quarantine_chunk(cid, "tamper")
+            raise
+        try:
+            raw = self._io_read(descriptor.location, descriptor.length)
+        except IOFaultError as exc:
+            self._quarantine_chunk(cid, "io")
+            raise QuarantineError(key, "io") from exc
+        return self._validate_raw_version(cid, descriptor, state, raw)
+
+    def _read_chunk_body(
+        self, cid: ChunkId, use_payload_cache: bool = True
+    ) -> bytes:
+        use_cache = (
+            use_payload_cache and cid.height == 0 and self.payloads.enabled
+        )
+        if use_cache:
+            cached = self.payloads.get(cid)
+            if cached is not None:
+                return cached
         descriptor = self._get_descriptor(cid)
         if descriptor.status == ChunkStatus.WRITTEN:
-            return self._read_validated(cid, descriptor, self._state(cid.partition))
+            body = self._read_validated(cid, descriptor, self._state(cid.partition))
+            if use_cache:
+                # populated ONLY after a successful validated read — never
+                # write-through — so a cached payload was always vouched
+                # for by the hash-link path
+                self.payloads.put(cid, body)
+            return body
         state = self._state(cid.partition)
         if cid.height == 0 and (
             cid.rank in state.pending_ranks or not state.is_committed_written(cid.rank)
@@ -536,7 +692,171 @@ class ChunkStore:
     def read_chunk(self, pid: int, rank: int) -> bytes:
         """Return the last written state of chunk ``(pid, rank)`` (§4.5)."""
         with self._lock, profiled("chunk store"):
-            return self._read_chunk_body(data_id(pid, rank))
+            body = self._read_chunk_body(data_id(pid, rank))
+            self._note_sequential_read(pid, rank)
+            return body
+
+    def read_chunks(self, pid: int, ranks: Sequence[int]) -> Dict[int, bytes]:
+        """Batched :meth:`read_chunk`: returns ``{rank: bytes}`` for every
+        requested rank, coalescing descriptor resolution (one ``read_many``
+        per uncached map level) and the data-extent fetches (one more) so
+        an N-chunk read costs a constant number of round trips instead of
+        2(h+1) per chunk.  Error semantics match a sequential loop: the
+        first rank that cannot be served raises its typed error."""
+        with self._lock, profiled("chunk store"):
+            state = self._state(pid)
+            result: Dict[int, bytes] = {}
+            todo: List[int] = []
+            for rank in ranks:
+                if rank in result or rank in todo:
+                    continue
+                cached = self.payloads.get(data_id(pid, rank))
+                if cached is not None:
+                    result[rank] = cached
+                else:
+                    todo.append(rank)
+            if todo:
+                result.update(self._fetch_chunks(state, todo))
+            return {rank: result[rank] for rank in ranks}
+
+    def _fetch_chunks(
+        self,
+        state: PartitionState,
+        ranks: Sequence[int],
+        prefetched: bool = False,
+    ) -> Dict[int, bytes]:
+        """Batched fetch of uncached data chunks.  Any fault or validation
+        trouble in the batched machinery falls back to the sequential path,
+        which reports errors (and quarantines extents) precisely; prefetch
+        callers re-raise instead and swallow at the call site."""
+        try:
+            return self._fetch_chunks_batch(state, ranks, prefetched)
+        except TDBError:
+            if prefetched:
+                raise
+            result: Dict[int, bytes] = {}
+            for rank in ranks:
+                result[rank] = self._read_chunk_body(data_id(state.pid, rank))
+            return result
+
+    def _fetch_chunks_batch(
+        self, state: PartitionState, ranks: Sequence[int], prefetched: bool
+    ) -> Dict[int, bytes]:
+        pid = state.pid
+        self._resolve_descriptors_batched(state, ranks)
+        pairs: List[Tuple[ChunkId, ChunkDescriptor]] = []
+        plain: List[int] = []  # ranks the batch cannot serve
+        for rank in ranks:
+            cid = data_id(pid, rank)
+            descriptor = self._get_descriptor(cid)
+            if (
+                descriptor.status == ChunkStatus.WRITTEN
+                and self._quarantine.get(str(cid)) != "io"
+            ):
+                pairs.append((cid, descriptor))
+            else:
+                plain.append(rank)
+        result: Dict[int, bytes] = {}
+        if pairs:
+            self.logbuf.seal()
+            for cid, descriptor in pairs:
+                try:
+                    self._check_extent(cid, descriptor)
+                except TamperDetectedError:
+                    self._quarantine_chunk(cid, "tamper")
+                    raise
+            blobs = self._io_read_many(
+                [(d.location, d.length) for _, d in pairs]
+            )
+            self.chunk_batches += 1
+            self.chunk_batch_fetched += len(pairs)
+            for (cid, descriptor), raw in zip(pairs, blobs):
+                body = self._validate_raw_version(cid, descriptor, state, raw)
+                result[cid.rank] = body
+                self.payloads.put(cid, body, prefetched=prefetched)
+        for rank in plain:
+            if prefetched:
+                continue  # best-effort: skip chunks needing the typed path
+            result[rank] = self._read_chunk_body(data_id(pid, rank))
+        return result
+
+    def _resolve_descriptors_batched(
+        self, state: PartitionState, ranks: Sequence[int]
+    ) -> None:
+        """Warm the descriptor cache for data ``ranks``, fetching every
+        uncached map chunk of a level in one ``read_many`` batch (the
+        levels themselves are inherently sequential: a map chunk's extent
+        is only known once its parent's body is decoded)."""
+        pid = state.pid
+        fanout = self.config.fanout
+        height = state.payload.tree_height
+        if height == 0:
+            return
+        need_data = [
+            rank for rank in ranks if self.cache.get(data_id(pid, rank)) is None
+        ]
+        if not need_data:
+            return
+        # reads_at[l]: level-l map-chunk ranks whose bodies are needed
+        reads_at: Dict[int, Set[int]] = {1: {r // fanout for r in need_data}}
+        for level in range(1, height):
+            parents = {
+                node_rank // fanout
+                for node_rank in reads_at.get(level, ())
+                if self.cache.get(ChunkId(pid, level, node_rank)) is None
+            }
+            if parents:
+                reads_at.setdefault(level + 1, set()).update(parents)
+        for level in range(height, 0, -1):
+            items: List[Tuple[ChunkId, ChunkDescriptor]] = []
+            for node_rank in sorted(reads_at.get(level, ())):
+                cid = ChunkId(pid, level, node_rank)
+                descriptor = self.cache.get(cid)
+                if descriptor is None:
+                    descriptor = (
+                        state.payload.root
+                        if level == height and node_rank == 0
+                        else ChunkDescriptor()
+                    )
+                if descriptor.is_written():
+                    items.append((cid, descriptor))
+            if items:
+                self._load_map_chunks(state, items)
+
+    def _note_sequential_read(self, pid: int, rank: int) -> None:
+        """Detect sequential rank runs and prefetch the next window of
+        committed chunks into the payload cache (best-effort: a prefetch
+        never raises; real reads report errors precisely)."""
+        window = self.config.prefetch_window
+        if window <= 0 or not self.payloads.enabled:
+            return
+        last, run = self._read_cursor.get(pid, (-2, 0))
+        run = run + 1 if rank == last + 1 else 1
+        self._read_cursor[pid] = (rank, run)
+        if run < 2:
+            return
+        state = self._state(pid)
+        targets = [
+            r
+            for r in range(rank + 1, rank + 1 + window)
+            if state.is_committed_written(r)
+            and r not in state.pending_ranks
+            and not self.payloads.contains(data_id(pid, r))
+        ]
+        if not targets:
+            return
+        self.prefetch_issued += len(targets)
+        try:
+            self._fetch_chunks(state, targets, prefetched=True)
+        except TDBError:
+            pass
+
+    def evict_payload(self, pid: int, rank: int) -> None:
+        """Drop any validated-payload entry for ``(pid, rank)`` — e.g. an
+        :class:`~repro.objectstore.store.ObjectStore` abort's defensive
+        eviction of chunks its transaction touched."""
+        with self._lock:
+            self.payloads.invalidate(data_id(pid, rank))
 
     def chunk_status(self, pid: int, rank: int) -> str:
         """Introspection: 'written', 'unwritten', 'free', or 'unallocated'."""
@@ -611,6 +931,7 @@ class ChunkStore:
     ) -> None:
         """Install a committed chunk write into cache, allocation state,
         and utilization accounting."""
+        self.payloads.invalidate(cid)  # the cached payload is now stale
         state = self._state(cid.partition)
         old = self.cache.get(cid)
         if old is None and state.payload.tree_height >= max(cid.height, 1):
@@ -627,6 +948,7 @@ class ChunkStore:
         state.leader_dirty = True
 
     def _apply_chunk_dealloc(self, cid: ChunkId) -> None:
+        self.payloads.invalidate(cid)
         state = self._state(cid.partition)
         old = self.cache.get(cid)
         if old is None:
@@ -735,6 +1057,8 @@ class ChunkStore:
                     parent_state.payload.copies.remove(pid)
                     parent_state.leader_dirty = True
             self.cache.drop_partition(pid)
+            self.payloads.drop_partition(pid)
+            self._read_cursor.pop(pid, None)
             self.partitions.pop(pid, None)
             rank = partition_rank(pid)
             if system.is_committed_written(rank):
@@ -924,6 +1248,8 @@ class ChunkStore:
                     payload.copies = list(old_state.payload.copies)
                     payload.copy_of = old_state.payload.copy_of
                     self.cache.drop_partition(op.partition)
+                    self.payloads.drop_partition(op.partition)
+                    self._read_cursor.pop(op.partition, None)
                 self._append_leader(op.partition, payload)
             elif isinstance(op, CopyPartition):
                 source = self._state(op.source)
@@ -1411,7 +1737,9 @@ class ChunkStore:
                         continue
                     cid = data_id(pid, rank)
                     try:
-                        self._read_chunk_body(cid)
+                        # bypass the payload cache: scrub exists to
+                        # exercise the device and the validation chain
+                        self._read_chunk_body(cid, use_payload_cache=False)
                         validated += 1
                     except scan_errors as exc:
                         if raise_on_first:
@@ -1446,7 +1774,7 @@ class ChunkStore:
                     try:
                         state = self._state(cid.partition)
                         if cid.height == 0:
-                            self._read_chunk_body(cid)
+                            self._read_chunk_body(cid, use_payload_cache=False)
                         else:
                             descriptor = self._get_descriptor(cid)
                             if descriptor.is_written():
@@ -1577,9 +1905,19 @@ class ChunkStore:
                     "bytes_appended": self.logbuf.bytes_appended,
                 },
                 "commits": self.commit_count_stat,
+                "payload_cache": self.payloads.stats(),
+                "walk": {
+                    "batches": self.walk_batches,
+                    "map_chunks_fetched": self.walk_map_chunks_fetched,
+                    "round_trips_saved": self.walk_round_trips_saved,
+                    "chunk_batches": self.chunk_batches,
+                    "chunks_batch_fetched": self.chunk_batch_fetched,
+                    "prefetch_issued": self.prefetch_issued,
+                },
                 "untrusted": {
                     "reads": io.reads,
                     "batched_reads": io.batched_reads,
+                    "batched_extents": io.batched_extents,
                     "bytes_read": io.bytes_read,
                     "writes": io.writes,
                     "bytes_written": io.bytes_written,

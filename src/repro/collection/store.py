@@ -270,6 +270,25 @@ class CollectionStore:
         for _key, ref in btree.iterate(tx, state["members_root"]):
             yield ref
 
+    def scan_values(
+        self, tx: Transaction, coll: Collection, batch_size: int = 64
+    ) -> Iterator[Tuple[ObjectRef, Any]]:
+        """Scan members yielding ``(ref, value)``, loading objects in
+        batches of ``batch_size`` so each batch costs one coalesced chunk
+        fetch per partition instead of one round trip per member."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        batch: List[ObjectRef] = []
+        for ref in self.scan(tx, coll):
+            batch.append(ref)
+            if len(batch) >= batch_size:
+                values = tx.get_many(batch)
+                yield from zip(batch, values)
+                batch = []
+        if batch:
+            values = tx.get_many(batch)
+            yield from zip(batch, values)
+
     def exact(
         self, tx: Transaction, coll: Collection, index_name: str, key: Any
     ) -> List[ObjectRef]:

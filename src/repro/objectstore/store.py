@@ -143,6 +143,32 @@ class ObjectStore:
         self.cache.put(ref, value)
         return value
 
+    def _load_many(self, refs: List[ObjectRef]) -> Dict[ObjectRef, Any]:
+        """Load several objects, coalescing chunk fetches per partition."""
+        result: Dict[ObjectRef, Any] = {}
+        todo: Dict[int, List[ObjectRef]] = {}
+        for ref in refs:
+            if ref in result:
+                continue
+            present, value = self.cache.get(ref)
+            if present:
+                result[ref] = value
+            else:
+                todo.setdefault(ref.partition, []).append(ref)
+        for pid, missing in todo.items():
+            try:
+                chunks = self.chunks.read_chunks(pid, [r.rank for r in missing])
+            except (ChunkNotWrittenError, ChunkNotAllocatedError) as exc:
+                raise ObjectNotFoundError(
+                    f"missing object among {missing}"
+                ) from exc
+            for ref in missing:
+                with profiled("object store"):
+                    value = unpickle_value(chunks[ref.rank], self.registry)
+                self.cache.put(ref, value)
+                result[ref] = value
+        return result
+
 
 class Transaction:
     """One serializable unit of work (two-phase locking, no-steal)."""
@@ -188,6 +214,28 @@ class Transaction:
         value = self.store._load(ref)
         self.store.op_counts["read"] += 1
         return value
+
+    def get_many(self, refs: List[ObjectRef]) -> List[Any]:
+        """Read several objects under shared locks, batching the chunk
+        fetches per partition into single round trips."""
+        self._require_active()
+        buffered: Dict[ObjectRef, Any] = {}
+        to_load: List[ObjectRef] = []
+        with profiled("object store"):
+            for ref in refs:
+                if ref in self._writes:
+                    value = self._writes[ref]
+                    if value is _DELETED:
+                        raise ObjectNotFoundError(
+                            f"{ref} deleted in this transaction"
+                        )
+                    buffered[ref] = value
+                else:
+                    self.store.locks.acquire_shared(self.tx_id, ref)
+                    to_load.append(ref)
+        loaded = self.store._load_many(to_load)
+        self.store.op_counts["read"] += len(refs)
+        return [buffered[r] if r in buffered else loaded[r] for r in refs]
 
     def get_for_update(self, ref: ObjectRef) -> Any:
         """Read an object under an exclusive lock (avoids upgrade
@@ -298,6 +346,9 @@ class Transaction:
         store = self.store
         for ref in self._writes:
             store.cache.evict(ref)
+            # the chunk-level payload cache holds the same (possibly
+            # half-trusted) bytes — drop those entries too
+            store.chunks.evict_payload(ref.partition, ref.rank)
         for ref in self._created:
             # return the volatile allocation so ranks are not leaked
             try:

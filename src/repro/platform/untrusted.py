@@ -51,6 +51,9 @@ class IOStats:
     flushed_bytes: int = 0
     #: read_many batches issued (each counts as a single round trip, §10)
     batched_reads: int = 0
+    #: total extents carried by those batches (coalescing factor =
+    #: batched_extents / batched_reads)
+    batched_extents: int = 0
     #: I/O faults raised by the store (injected or real)
     io_errors: int = 0
     #: operations re-issued by the retry layer after a transient fault
@@ -66,6 +69,7 @@ class IOStats:
         self.flushes = 0
         self.flushed_bytes = 0
         self.batched_reads = 0
+        self.batched_extents = 0
         self.io_errors = 0
         self.retries = 0
         self.gave_up = 0
@@ -79,6 +83,7 @@ class IOStats:
             flushes=self.flushes,
             flushed_bytes=self.flushed_bytes,
             batched_reads=self.batched_reads,
+            batched_extents=self.batched_extents,
             io_errors=self.io_errors,
             retries=self.retries,
             gave_up=self.gave_up,
@@ -93,6 +98,7 @@ class IOStats:
             flushes=self.flushes - earlier.flushes,
             flushed_bytes=self.flushed_bytes - earlier.flushed_bytes,
             batched_reads=self.batched_reads - earlier.batched_reads,
+            batched_extents=self.batched_extents - earlier.batched_extents,
             io_errors=self.io_errors - earlier.io_errors,
             retries=self.retries - earlier.retries,
             gave_up=self.gave_up - earlier.gave_up,
@@ -174,6 +180,7 @@ class UntrustedStore(ABC):
             results.append(self._image_read(offset, size))
         self.stats.reads += 1
         self.stats.batched_reads += 1
+        self.stats.batched_extents += len(extents)
         self.stats.bytes_read += total
         return results
 

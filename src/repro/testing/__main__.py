@@ -4,11 +4,17 @@ Usage (see also the Makefile targets)::
 
     python -m repro.testing adversary   [--mode counter] [--trials 64]
                                         [--seed N] [--class NAME]
+                                        [--no-payload-cache]
     python -m repro.testing differential [--mode counter] [--seeds 20]
                                         [--seed N] [--ops 50]
     python -m repro.testing faults      [--mode counter] [--trials 150]
                                         [--seed N] [--point NAME]
                                         [--rate R] [--crash-sites]
+                                        [--no-payload-cache]
+
+``--no-payload-cache`` reruns a sweep with the validated-payload cache
+disabled, so detection results can be compared against the cache-enabled
+default.
 
 Exit status is non-zero iff a harness failure (silent corruption, foreign
 exception, or store/model divergence) was found; each failure prints a
@@ -26,7 +32,7 @@ from repro.testing.faultsweep import FaultSweep
 
 
 def _run_adversary(args: argparse.Namespace) -> int:
-    adversary = Adversary(mode=args.mode)
+    adversary = Adversary(mode=args.mode, payload_cache=not args.no_payload_cache)
     if args.seed is not None:
         report = adversary.run_trial(args.seed, attack=args.attack_class)
         print(
@@ -74,7 +80,7 @@ def _run_differential(args: argparse.Namespace) -> int:
 
 
 def _run_faults(args: argparse.Namespace) -> int:
-    sweep = FaultSweep(mode=args.mode)
+    sweep = FaultSweep(mode=args.mode, payload_cache=not args.no_payload_cache)
     if args.seed is not None:
         report = sweep.run_trial(args.seed, point=args.point, rate=args.rate)
         print(
@@ -120,6 +126,8 @@ def main(argv=None) -> int:
                      help="replay a single trial seed")
     adv.add_argument("--class", dest="attack_class", default=None,
                      help="pin the attack class when replaying a seed")
+    adv.add_argument("--no-payload-cache", action="store_true",
+                     help="judge with the validated-payload cache disabled")
 
     diff = sub.add_parser("differential", help="model-based differential run")
     diff.add_argument("--mode", default="counter",
@@ -143,6 +151,8 @@ def main(argv=None) -> int:
                         help="pin the error rate when replaying a seed")
     faults.add_argument("--crash-sites", action="store_true",
                         help="also run the crash-under-faults site sweep")
+    faults.add_argument("--no-payload-cache", action="store_true",
+                        help="judge with the validated-payload cache disabled")
 
     args = parser.parse_args(argv)
     if args.command == "adversary":

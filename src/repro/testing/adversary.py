@@ -150,9 +150,11 @@ PARTITION_SPECS = (
 )
 
 
-def scenario_config(mode: str) -> StoreConfig:
+def scenario_config(mode: str, payload_cache: bool = True) -> StoreConfig:
     """The sweep's store configuration: the strictest windows (Δut=1,
-    Δtu=0), so *any* rollback of a committed state must be detected."""
+    Δtu=0), so *any* rollback of a committed state must be detected.
+    ``payload_cache=False`` judges with the validated-payload cache off
+    (the runtime-only knob; the attack surface is identical either way)."""
     return StoreConfig(
         segment_size=8 * 1024,
         system_cipher="ctr-sha256",
@@ -160,6 +162,7 @@ def scenario_config(mode: str) -> StoreConfig:
         validation_mode=mode,
         delta_ut=1,
         delta_tu=0,
+        payload_cache_bytes=StoreConfig.payload_cache_bytes if payload_cache else 0,
     )
 
 
@@ -278,13 +281,18 @@ class Adversary:
         mode: str = "counter",
         classes: Optional[Sequence[str]] = None,
         scenario: Optional[Scenario] = None,
+        payload_cache: bool = True,
     ) -> None:
         self.mode = mode
         self.classes: Tuple[str, ...] = tuple(classes or self.CLASSES)
         for name in self.classes:
             if name not in self.CLASSES:
                 raise ValueError(f"unknown attack class {name!r}")
+        self.payload_cache = payload_cache
         self.scenario = scenario or build_scenario(mode)
+
+    def _open_config(self) -> StoreConfig:
+        return scenario_config(self.mode, payload_cache=self.payload_cache)
 
     # -- public API ------------------------------------------------------------
 
@@ -398,7 +406,7 @@ class Adversary:
         or detected."""
         platform = self.scenario.final.restore()
         try:
-            store = ChunkStore.open(platform)
+            store = ChunkStore.open(platform, self._open_config())
         except TDBError as exc:  # pragma: no cover - scenario must open clean
             return FOREIGN_ERROR, f"pristine scenario failed to open: {exc}"
         key = rng.choice(sorted(self.scenario.expected))
@@ -436,9 +444,12 @@ class Adversary:
 
         The only legal outcomes are exact committed bytes or
         :class:`TamperDetectedError`; committed state quietly vanishing,
-        wrong bytes, and non-TDB exceptions are harness failures."""
+        wrong bytes, and non-TDB exceptions are harness failures.  Every
+        chunk is read *twice*: the second read exercises the warm
+        validated-payload cache, which must never serve bytes the first
+        (device-validating) read did not."""
         try:
-            store = ChunkStore.open(platform)
+            store = ChunkStore.open(platform, self._open_config())
         except TamperDetectedError as exc:
             return DETECTED, f"open: {exc}"
         except TDBError as exc:
@@ -470,6 +481,25 @@ class Adversary:
                 problems.append(
                     f"chunk {pid}:{rank} silently corrupted "
                     f"(got {got[:32]!r}...)"
+                )
+                continue
+            try:
+                again = store.read_chunk(pid, rank)
+            except TDBError as exc:
+                problems.append(
+                    f"chunk {pid}:{rank} warm re-read failed after a clean "
+                    f"read ({type(exc).__name__}: {exc})"
+                )
+                continue
+            except Exception as exc:
+                return (
+                    FOREIGN_ERROR,
+                    f"warm re-read {pid}:{rank} raised {type(exc).__name__}: {exc}",
+                )
+            if again != got:
+                problems.append(
+                    f"chunk {pid}:{rank} warm re-read served different bytes "
+                    f"(cache incoherence)"
                 )
         if problems:
             return SILENT_CORRUPTION, "; ".join(problems)

@@ -44,7 +44,7 @@ from repro.errors import (
 )
 from repro.platform.clock import FakeClock
 from repro.platform.faults import FaultConfig, FaultInjector
-from repro.testing.adversary import Scenario, build_scenario
+from repro.testing.adversary import Scenario, build_scenario, scenario_config
 from repro.testing.sweep import SweepDriver, SweepSite
 
 # -- outcomes -----------------------------------------------------------------
@@ -138,10 +138,17 @@ class FaultSweep:
     enforces the fault-tolerance invariant on every outcome."""
 
     def __init__(
-        self, mode: str = "counter", scenario: Optional[Scenario] = None
+        self,
+        mode: str = "counter",
+        scenario: Optional[Scenario] = None,
+        payload_cache: bool = True,
     ) -> None:
         self.mode = mode
+        self.payload_cache = payload_cache
         self.scenario = scenario or build_scenario(mode)
+
+    def _open_config(self):
+        return scenario_config(self.mode, payload_cache=self.payload_cache)
 
     # -- public API ------------------------------------------------------------
 
@@ -184,7 +191,7 @@ class FaultSweep:
             # every fault lands on the simulated network instead
             platform.untrusted = RemoteUntrustedStore(platform.untrusted)
         try:
-            store: Optional[ChunkStore] = ChunkStore.open(platform)
+            store: Optional[ChunkStore] = ChunkStore.open(platform, self._open_config())
         except Exception as exc:  # pragma: no cover - scenario must open clean
             return (
                 FOREIGN_FAULT_ERROR,
@@ -211,7 +218,7 @@ class FaultSweep:
             for clean_pass in (False, True):
                 faults.enabled = not clean_pass
                 try:
-                    store = ChunkStore.open(platform)
+                    store = ChunkStore.open(platform, self._open_config())
                     faults.enabled = True
                     return None
                 except TDBError as last:
@@ -292,7 +299,7 @@ class FaultSweep:
         fired = sum(faults.counts.values())
         platform.reboot()
         try:
-            store = ChunkStore.open(platform)
+            store = ChunkStore.open(platform, self._open_config())
         except TDBError as exc:
             if not faults.bad_extents:
                 return (
@@ -322,7 +329,7 @@ class FaultSweep:
             typed.append(f"scrub: {type(exc).__name__}")
             platform.reboot()
             try:
-                store = ChunkStore.open(platform)
+                store = ChunkStore.open(platform, self._open_config())
             except TDBError as exc2:
                 if not faults.bad_extents:
                     return (
@@ -442,7 +449,7 @@ class FaultSweep:
             env.platform = scenario.final.restore(
                 fault_injector=env.faults, clock=FakeClock()
             )
-            env.store = ChunkStore.open(env.platform)
+            env.store = ChunkStore.open(env.platform, self._open_config())
             env.acceptable = {
                 key: (value,) for key, value in scenario.expected.items()
             }
@@ -472,7 +479,7 @@ class FaultSweep:
         def check(env: _Env, site: SweepSite) -> None:
             env.faults.enabled = False
             env.platform.reboot()
-            store = ChunkStore.open(env.platform)
+            store = ChunkStore.open(env.platform, self._open_config())
             for (pid, rank), values in sorted(env.acceptable.items()):
                 got = store.read_chunk(pid, rank)
                 assert got in values, (

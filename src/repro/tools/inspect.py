@@ -65,6 +65,11 @@ def attacker_view(untrusted: UntrustedStore) -> Dict[str, Any]:
     return result
 
 
+def _hit_ratio(hits: int, misses: int) -> float:
+    total = hits + misses
+    return round(hits / total, 3) if total else 0.0
+
+
 def trusted_view(store: ChunkStore) -> Dict[str, Any]:
     """Validated statistics, as trusted code sees them."""
     segman = store.segman
@@ -102,6 +107,12 @@ def trusted_view(store: ChunkStore) -> Dict[str, Any]:
             "dirty_descriptors": store.cache.dirty_count(),
             "hits": store.cache.hits,
             "misses": store.cache.misses,
+            "evictions": store.cache.evictions,
+            "hit_ratio": _hit_ratio(store.cache.hits, store.cache.misses),
+        },
+        "payload_cache": {
+            **store.payloads.stats(),
+            "hit_ratio": _hit_ratio(store.payloads.hits, store.payloads.misses),
         },
         "commits": store.commit_count_stat,
         "io_health": {

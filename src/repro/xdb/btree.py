@@ -191,11 +191,16 @@ class BTree:
                         return
                     yield key, val
                 return
+            wanted = []
             for index, child in enumerate(children):
                 if low is not None and index < len(keys) and keys[index] < low:
                     continue
                 if high is not None and index > 0 and keys[index - 1] > high:
-                    return
+                    break
+                wanted.append(child)
+            # warm the page cache with one batched round trip, then recurse
+            self.pager.read_pages(wanted)
+            for child in wanted:
                 yield from walk(child)
 
         yield from walk(self.root)

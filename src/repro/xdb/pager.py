@@ -24,10 +24,10 @@ from __future__ import annotations
 
 import struct
 from collections import OrderedDict
-from typing import List, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.bench.profiler import profiled
-from repro.errors import XDBError
+from repro.errors import IOFaultError, XDBError
 from repro.platform.untrusted import UntrustedStore
 from repro.util.checksum import crc32_bytes
 
@@ -115,6 +115,34 @@ class Pager:
         self._cache[page_no] = data
         self._evict_if_needed()
         return data
+
+    def read_pages(self, page_nos: List[int]) -> List[bytearray]:
+        """Read several pages; the uncached ones are fetched in a single
+        ``read_many`` round trip instead of one read per page."""
+        result: Dict[int, bytearray] = {}
+        missing: List[int] = []
+        for page_no in page_nos:
+            if not 1 <= page_no < self.page_count:
+                raise XDBError(f"page {page_no} out of range")
+            if page_no in result or page_no in missing:
+                continue
+            cached = self._cache.get(page_no)
+            if cached is not None:
+                self._cache.move_to_end(page_no)
+                result[page_no] = cached
+            else:
+                missing.append(page_no)
+        if missing:
+            with profiled("untrusted store read"):
+                blobs = self.store.read_many(
+                    [(page_no * PAGE_SIZE, PAGE_SIZE) for page_no in missing]
+                )
+            for page_no, blob in zip(missing, blobs):
+                page = bytearray(blob)
+                self._cache[page_no] = page
+                result[page_no] = page
+            self._evict_if_needed()
+        return [result[page_no] for page_no in page_nos]
 
     def write_page(self, page_no: int, data: bytes) -> None:
         if len(data) > PAGE_SIZE:
@@ -225,13 +253,25 @@ class Pager:
         cursor = self.wal_offset
         pending: List[Tuple[int, bytes]] = []
         last_seq = self.commit_seq  # from the (forced) header
+        # the whole WAL region in one round trip; a faulted span read
+        # falls back to the per-record read path
+        try:
+            (span,) = self.store.read_many([(self.wal_offset, self.wal_size)])
+        except IOFaultError:
+            span = None
+
+        def read_at(offset: int, size: int) -> bytes:
+            if span is not None and offset - self.wal_offset + size <= len(span):
+                return span[offset - self.wal_offset : offset - self.wal_offset + size]
+            return self.store.read(offset, size)
+
         while cursor + _WAL_RECORD.size < self.wal_offset + self.wal_size:
             kind, page_no, crc = _WAL_RECORD.unpack(
-                self.store.read(cursor, _WAL_RECORD.size)
+                read_at(cursor, _WAL_RECORD.size)
             )
             cursor += _WAL_RECORD.size
             if kind == _WAL_PAGE:
-                page = self.store.read(cursor, PAGE_SIZE)
+                page = read_at(cursor, PAGE_SIZE)
                 cursor += PAGE_SIZE
                 if crc32_bytes(page) != crc:
                     break  # torn record: stop

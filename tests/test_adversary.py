@@ -139,3 +139,18 @@ def test_adversary_sweep_deep(adversaries, mode):
             assert not report.failed, (
                 f"{report.detail}\nrepro: {report.repro_line(mode)}"
             )
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_sweep_with_payload_cache_disabled(adversaries, mode):
+    """The cache-off toggle (CI's --no-payload-cache smoke): same scenario,
+    payload cache disabled, oracle still never violated."""
+    base = adversaries[mode]
+    uncached = Adversary(mode, scenario=base.scenario, payload_cache=False)
+    assert uncached._open_config().payload_cache_bytes == 0
+    assert base._open_config().payload_cache_bytes > 0
+    result = uncached.run(24)
+    _assert_no_failures(result)
+    outcomes = result.outcomes()
+    assert outcomes.get(SILENT_CORRUPTION, 0) == 0
+    assert outcomes.get(FOREIGN_ERROR, 0) == 0

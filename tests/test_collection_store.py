@@ -248,3 +248,54 @@ class TestDurabilityAndTrust:
                 goods = collections.open_collection(tx, "goods")
                 for hit in collections.exact(tx, goods, "by_title", "g7"):
                     tx.get(hit)
+
+
+class TestBatchedScan:
+    def test_scan_values_matches_scan_plus_get(self, env):
+        _, _, objects, collections = env
+        goods, refs = goods_collection(objects, collections, 30)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            expected = {ref: tx.get(ref) for ref in collections.scan(tx, goods)}
+            got = dict(collections.scan_values(tx, goods, batch_size=8))
+        assert got == expected
+        assert set(got) == set(refs)
+
+    def test_scan_values_batches_chunk_fetches(self, env):
+        platform, chunks, objects, collections = env
+        goods, refs = goods_collection(objects, collections, 24)
+        chunks.checkpoint()
+
+        # cold caches, batched: each 8-ref batch is one coalesced fetch
+        chunks.cache.clear()
+        chunks.payloads.clear()
+        objects.cache.clear()
+        before = platform.untrusted.stats.snapshot()
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            batched = dict(collections.scan_values(tx, goods, batch_size=8))
+        batched_delta = platform.untrusted.stats.delta(before)
+
+        # cold caches, one get per ref: the unbatched baseline
+        chunks.cache.clear()
+        chunks.payloads.clear()
+        objects.cache.clear()
+        before = platform.untrusted.stats.snapshot()
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            single = {
+                ref: tx.get(ref) for ref in collections.scan(tx, goods)
+            }
+        single_delta = platform.untrusted.stats.delta(before)
+
+        assert batched == single
+        assert batched_delta.reads < single_delta.reads
+        assert batched_delta.batched_reads > 0
+
+    def test_scan_values_rejects_bad_batch_size(self, env):
+        _, _, objects, collections = env
+        goods, _ = goods_collection(objects, collections, 3)
+        with objects.transaction() as tx:
+            goods = collections.open_collection(tx, "goods")
+            with pytest.raises(ValueError):
+                list(collections.scan_values(tx, goods, batch_size=0))

@@ -81,7 +81,9 @@ def test_transient_faults_are_healed_by_retry():
 
 
 def test_quarantine_isolates_damage_to_one_chunk():
-    platform, store, faults = _faulted_store()
+    # payload cache off: the test re-reads chunks it already read, and a
+    # warm cache would (correctly) never re-hit the dead extent
+    platform, store, faults = _faulted_store(payload_cache_bytes=0)
     healthy_pid, hurt_pid = _populate(store)
     before = {
         (pid, rank): store.read_chunk(pid, rank)
@@ -208,7 +210,7 @@ def test_quarantine_then_scrub_repair_from_backup():
     """The ISSUE's acceptance demo: back up, damage extents, watch reads
     quarantine, scrub-and-repair from the backup, then read everything
     back byte-identical."""
-    platform, store, faults = _faulted_store()
+    platform, store, faults = _faulted_store(payload_cache_bytes=0)
     pids = _populate(store, partitions=3)
     expected = {
         (pid, rank): store.read_chunk(pid, rank)

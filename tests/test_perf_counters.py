@@ -81,8 +81,8 @@ class TestStoreStats:
         store.read_chunk(pid, rank)
         stats = store.stats()
         assert set(stats) == {
-            "crypto", "hashing", "cache", "log", "commits", "untrusted",
-            "faults",
+            "crypto", "hashing", "cache", "payload_cache", "walk", "log",
+            "commits", "untrusted", "faults",
         }
         # system cipher is ctr-sha256 in the test config, and the partition
         # uses it too, so one aggregated entry carries all the bytes
@@ -148,7 +148,8 @@ class TestDescriptorCacheIndex:
         assert 7 not in cache._by_partition
 
     def test_hit_miss_counters_via_store_stats(self):
-        store = fresh_store()
+        # payload cache off so every read exercises the descriptor cache
+        store = fresh_store(payload_cache_bytes=0)
         pid = fresh_partition(store)
         rank = store.allocate_chunk(pid)
         store.commit([ops.WriteChunk(pid, rank, b"z")])
@@ -158,7 +159,8 @@ class TestDescriptorCacheIndex:
         after = store.stats()["cache"]
         assert after["hits"] >= before + 3
         assert set(after) == {
-            "hits", "misses", "clean_entries", "dirty_entries", "partitions_indexed"
+            "hits", "misses", "evictions", "clean_entries", "dirty_entries",
+            "partitions_indexed"
         }
 
     def test_lru_order_preserved_without_move_to_end(self):

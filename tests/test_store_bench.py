@@ -1,0 +1,26 @@
+"""Smoke test for the read-path benchmark driver (tiny in-process run)."""
+
+from repro.bench.store_bench import WARM_SPEEDUP_FLOOR, check, run
+
+
+def test_store_bench_tiny_run_meets_floors():
+    results = run(chunks=8, chunk_size=1024, repeats=2)
+
+    for section in ("write", "recovery", "cold_read", "warm_read",
+                    "uncached_read", "scan", "payload_cache", "walk"):
+        assert section in results, section
+    for section in ("write", "cold_read", "warm_read", "uncached_read"):
+        assert results[section]["ops_per_sec"] > 0
+
+    # the acceptance floors the CI smoke job enforces
+    assert results["warm_speedup_vs_uncached"] >= WARM_SPEEDUP_FLOOR
+    assert (
+        results["warm_read"]["round_trips"]
+        < results["cold_read"]["round_trips"]
+    )
+    # a batched scan beats one device read per chunk
+    assert (
+        results["scan"]["batched_round_trips"]
+        < results["scan"]["single_round_trips"]
+    )
+    assert check(results) == 0
