@@ -15,7 +15,7 @@ SEEDS ?= 20
 OPS ?= 50
 FAULT_TRIALS ?= 150
 
-.PHONY: install test test-fast bench bench-crypto bench-store report examples lint all \
+.PHONY: install test test-fast bench bench-crypto bench-store obs-smoke report examples lint all \
 	adversary adversary-sweep differential fault-sweep
 
 install:
@@ -35,6 +35,11 @@ bench-crypto:
 
 bench-store:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.store_bench --out BENCH_store.json
+
+# Observability smoke: run a short traced workload and assert the shape
+# of the recorded histograms, spans, and events (docs/OBSERVABILITY.md).
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.smoke
 
 report:
 	$(PYTHON) -m repro.bench.report

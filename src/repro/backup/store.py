@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import logging
 import os
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -137,7 +136,9 @@ class BackupStore:
         # 2. stream each partition backup to the archival store
         extras = self._extras()
         set_id = int.from_bytes(os.urandom(8), "big")
-        created_at = time.time()
+        # the injectable platform clock, not time.time(): backup tests
+        # drive timestamps deterministically through FakeClock
+        created_at = store.platform.clock.now()
         writer = self.archival.create_stream(stream_name)
         bytes_written = 0
         is_incremental: Dict[int, bool] = {}

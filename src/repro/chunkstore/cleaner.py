@@ -30,6 +30,7 @@ from __future__ import annotations
 import logging
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.chunkstore.descriptor import ChunkDescriptor, ChunkStatus
 from repro.chunkstore.ids import SYSTEM_PARTITION, ChunkId, leader_id
 from repro.chunkstore.log import CleanerRecord, VersionKind
@@ -64,10 +65,13 @@ class Cleaner:
             previous = store._in_maintenance
             store._in_maintenance = True
             try:
-                self._clean_segment(target)
+                with obs.span("cleaner_pass", segment=target), \
+                        obs.time_block("chunkstore.cleaner_pass"):
+                    self._clean_segment(target)
             finally:
                 store._in_maintenance = previous
             self.cleaned_segments += 1
+            obs.add("chunkstore.segments_cleaned")
             return target
 
     # ------------------------------------------------------------------

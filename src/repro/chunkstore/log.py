@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from enum import IntEnum
 from typing import List, Tuple
 
+from repro import obs
 from repro.bench.profiler import record_metric
 from repro.chunkstore.ids import ChunkId
 from repro.crypto.cipher import Cipher
@@ -146,13 +147,19 @@ class LogCodec:
         body_hash.counters.digests += 1
         body_hash.counters.bytes_hashed += len(header_plain) + len(body)
         record_metric("bytes hashed", len(header_plain) + len(body))
-        return self.system_cipher.encrypt(header_plain) + body_ct, hasher.digest()
+        version = self.system_cipher.encrypt(header_plain) + body_ct
+        obs.add("chunkstore.log.versions_built")
+        obs.add("chunkstore.log.bytes_built", len(version))
+        return version, hasher.digest()
 
     def build_unnamed(self, kind: VersionKind, body: bytes) -> bytes:
         """Encode an unnamed chunk version (system-encrypted body)."""
         body_ct = self.system_cipher.encrypt(body)
         header = VersionHeader(kind, 0, 0, 0, len(body), len(body_ct))
-        return self.system_cipher.encrypt(header.pack()) + body_ct
+        version = self.system_cipher.encrypt(header.pack()) + body_ct
+        obs.add("chunkstore.log.versions_built")
+        obs.add("chunkstore.log.bytes_built", len(version))
+        return version
 
     def descriptor_hash(
         self, header: VersionHeader, body: bytes, body_hash: HashFunction
@@ -178,6 +185,7 @@ class LogCodec:
             raise TamperDetectedError(f"undecryptable version header: {exc}") from exc
         if len(plain) != HEADER_PLAIN_SIZE:
             raise TamperDetectedError("version header has wrong plaintext size")
+        obs.add("chunkstore.log.headers_parsed")
         return VersionHeader.unpack(plain)
 
     def decrypt_body(self, header: VersionHeader, body_ct: bytes, cipher: Cipher) -> bytes:

@@ -54,6 +54,7 @@ from repro.chunkstore.log import (
     VersionHeader,
     VersionKind,
 )
+from repro import obs
 from repro.chunkstore.partition import PartitionState
 from repro.errors import IOFaultError, TamperDetectedError
 
@@ -67,7 +68,8 @@ class _TornTail(Exception):
 
 def recover(store) -> None:
     """Reopen ``store`` from its platform: validate and roll forward."""
-    _Recovery(store).run()
+    with obs.span("recovery"), obs.time_block("chunkstore.recovery"):
+        _Recovery(store).run()
 
 
 class _Recovery:
@@ -171,6 +173,7 @@ class _Recovery:
         # crash recovery invalidates every cached payload: the committed
         # state is being reconstructed from the durable log
         store.payloads.clear()
+        obs.emit("cache_invalidation", cache="payload", reason="recovery")
         store._read_cursor.clear()
         store.partitions[SYSTEM_PARTITION] = PartitionState.open(
             SYSTEM_PARTITION, payload, key_override=store._system_key
@@ -311,6 +314,11 @@ class _Recovery:
                 if self.direct:
                     last_good = cursor
         except _TornTail:
+            obs.emit(
+                "torn_tail",
+                at=cursor,
+                discarded_segments=len(claims_since_good),
+            )
             # Discard the incomplete suffix: un-claim segments the torn
             # region pulled in and truncate the tail.
             for segment in claims_since_good:
@@ -341,6 +349,16 @@ class _Recovery:
 
         for state in store.partitions.values():
             state.reset_allocator()
+        obs.emit(
+            "recovery_replay",
+            mode=self.config.validation_mode,
+            tail=cursor,
+            commit_sets=(
+                0 if self.direct
+                else expected_count - payload.system.checkpoint_count
+            ),
+            partitions=len(store.partitions),
+        )
         logger.info(
             "recovery complete: mode=%s, tail at %d, %d partition(s) open",
             self.config.validation_mode,

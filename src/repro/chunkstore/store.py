@@ -52,6 +52,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.bench.profiler import profiled
 from repro.chunkstore.cache import DescriptorCache, ValidatedChunkCache
 from repro.chunkstore.config import StoreConfig, mac_key, system_cipher_key
@@ -467,42 +468,44 @@ class ChunkStore:
 
         On an I/O fault the whole batch falls back to per-chunk validated
         reads so retries and quarantine land on the precise extent."""
-        for map_id, _descriptor in items:
-            key = str(map_id)
-            if self._quarantine.get(key) == "io":
-                raise QuarantineError(key, "io")
-        self.logbuf.seal()  # an extent may sit in the pending span
-        extents: List[Tuple[int, int]] = []
-        for map_id, descriptor in items:
-            try:
-                self._check_extent(map_id, descriptor)
-            except TamperDetectedError:
-                self._quarantine_chunk(map_id, "tamper")
-                raise
-            extents.append((descriptor.location, descriptor.length))
-        try:
-            blobs: Optional[List[bytes]] = self._io_read_many(extents)
-            self.walk_batches += 1
-            self.walk_map_chunks_fetched += len(items)
-            # versus the unbatched path: two reads (header, body) per map
-            # chunk, minus the one round trip this batch cost
-            self.walk_round_trips_saved += 2 * len(items) - 1
-        except IOFaultError:
-            blobs = None  # fall back so the fault pins the right chunk
-        vectors: List[List[ChunkDescriptor]] = []
-        if blobs is not None:
-            for (map_id, descriptor), raw in zip(items, blobs):
-                body = self._validate_raw_version(map_id, descriptor, state, raw)
-                vectors.append(self._decode_map_body(map_id, body))
-        else:
+        with obs.span("map_walk", pid=state.pid, chunks=len(items)), \
+                obs.time_block("chunkstore.map_walk"):
+            for map_id, _descriptor in items:
+                key = str(map_id)
+                if self._quarantine.get(key) == "io":
+                    raise QuarantineError(key, "io")
+            self.logbuf.seal()  # an extent may sit in the pending span
+            extents: List[Tuple[int, int]] = []
             for map_id, descriptor in items:
-                body = self._read_validated(map_id, descriptor, state)
-                vectors.append(self._decode_map_body(map_id, body))
-        fanout = self.config.fanout
-        for (map_id, _descriptor), vector in zip(items, vectors):
-            for slot, child in enumerate(vector):
-                self.cache.put_clean(map_id.child(fanout, slot), child)
-        return vectors
+                try:
+                    self._check_extent(map_id, descriptor)
+                except TamperDetectedError:
+                    self._quarantine_chunk(map_id, "tamper")
+                    raise
+                extents.append((descriptor.location, descriptor.length))
+            try:
+                blobs: Optional[List[bytes]] = self._io_read_many(extents)
+                self.walk_batches += 1
+                self.walk_map_chunks_fetched += len(items)
+                # versus the unbatched path: two reads (header, body) per map
+                # chunk, minus the one round trip this batch cost
+                self.walk_round_trips_saved += 2 * len(items) - 1
+            except IOFaultError:
+                blobs = None  # fall back so the fault pins the right chunk
+            vectors: List[List[ChunkDescriptor]] = []
+            if blobs is not None:
+                for (map_id, descriptor), raw in zip(items, blobs):
+                    body = self._validate_raw_version(map_id, descriptor, state, raw)
+                    vectors.append(self._decode_map_body(map_id, body))
+            else:
+                for map_id, descriptor in items:
+                    body = self._read_validated(map_id, descriptor, state)
+                    vectors.append(self._decode_map_body(map_id, body))
+            fanout = self.config.fanout
+            for (map_id, _descriptor), vector in zip(items, vectors):
+                for slot, child in enumerate(vector):
+                    self.cache.put_clean(map_id.child(fanout, slot), child)
+            return vectors
 
     # ------------------------------------------------------------------
     # reading and validating versions
@@ -579,6 +582,8 @@ class ChunkStore:
         if key not in self._quarantine:
             self.quarantined_total += 1
             logger.warning("quarantining chunk %s (%s)", key, cause)
+            obs.add("chunkstore.quarantines")
+            obs.emit("quarantine", chunk=key, cause=cause)
         if cause == "io" or key not in self._quarantine:
             self._quarantine[key] = cause
         self.payloads.invalidate(cid)
@@ -626,7 +631,9 @@ class ChunkStore:
         except TamperDetectedError:
             self._quarantine_chunk(cid, "tamper")
             raise
-        self._quarantine.pop(key, None)  # a clean read heals the entry
+        if self._quarantine.pop(key, None) is not None:
+            # a clean read heals the entry
+            obs.emit("quarantine_healed", chunk=key)
         return body
 
     def _read_validated(
@@ -670,7 +677,12 @@ class ChunkStore:
                 return cached
         descriptor = self._get_descriptor(cid)
         if descriptor.status == ChunkStatus.WRITTEN:
-            body = self._read_validated(cid, descriptor, self._state(cid.partition))
+            # cache misses only: warm hits return above untimed, so the
+            # read histogram prices the real device+crypto+hash path
+            with obs.time_block("chunkstore.read"):
+                body = self._read_validated(
+                    cid, descriptor, self._state(cid.partition)
+                )
             if use_cache:
                 # populated ONLY after a successful validated read — never
                 # write-through — so a cached payload was always vouched
@@ -703,7 +715,9 @@ class ChunkStore:
         an N-chunk read costs a constant number of round trips instead of
         2(h+1) per chunk.  Error semantics match a sequential loop: the
         first rank that cannot be served raises its typed error."""
-        with self._lock, profiled("chunk store"):
+        with self._lock, profiled("chunk store"), obs.span(
+            "read_chunks", pid=pid, ranks=len(ranks)
+        ):
             state = self._state(pid)
             result: Dict[int, bytes] = {}
             todo: List[int] = []
@@ -730,7 +744,8 @@ class ChunkStore:
         which reports errors (and quarantines extents) precisely; prefetch
         callers re-raise instead and swallow at the call site."""
         try:
-            return self._fetch_chunks_batch(state, ranks, prefetched)
+            with obs.time_block("chunkstore.read_batch"):
+                return self._fetch_chunks_batch(state, ranks, prefetched)
         except TDBError:
             if prefetched:
                 raise
@@ -1074,7 +1089,9 @@ class ChunkStore:
         :mod:`repro.chunkstore.ops`).  The commit is durable when this
         method returns; a crash at any earlier point leaves the store in
         its prior committed state."""
-        with self._lock, profiled("chunk store"):
+        with self._lock, profiled("chunk store"), obs.span(
+            "commit", ops=len(operations)
+        ), obs.time_block("chunkstore.commit"):
             self._check_open()
             self._validate_operations(operations)
             if self.cache.dirty_count() >= self.config.checkpoint_dirty_threshold:
@@ -1349,7 +1366,9 @@ class ChunkStore:
 
     def checkpoint(self) -> None:
         """Write buffered chunk-map updates and a fresh leader to the log."""
-        with self._lock, profiled("chunk store"):
+        with self._lock, profiled("chunk store"), obs.span(
+            "checkpoint"
+        ), obs.time_block("chunkstore.checkpoint"):
             self._check_open()
             try:
                 self._write_checkpoint()
@@ -1701,7 +1720,9 @@ class ChunkStore:
         reported in ``repaired``, the rest in ``unrepaired`` (and stay
         quarantined for a later scrub with a better backup).
         """
-        with self._lock, profiled("chunk store"):
+        with self._lock, profiled("chunk store"), obs.span(
+            "scrub"
+        ), obs.time_block("chunkstore.scrub"):
             self._check_open()
             # Fresh retries: drop "io" short-circuits so reads hit the
             # device again ("tamper" entries are bookkeeping; reads
@@ -1780,8 +1801,11 @@ class ChunkStore:
                             if descriptor.is_written():
                                 self._read_validated(cid, descriptor, state)
                         repaired.append(str(cid))
+                        obs.add("chunkstore.repairs")
+                        obs.emit("repair", chunk=str(cid), ok=True)
                     except (ChunkStoreError, TamperDetectedError, IOFaultError):
                         unrepaired.append(str(cid))
+                        obs.emit("repair", chunk=str(cid), ok=False)
             logger.info(
                 "scrub: %d chunk(s) validated across %d partition(s), "
                 "%d corrupt, %d unreadable, %d repaired",

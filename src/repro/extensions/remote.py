@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.errors import PartialResponseError
+from repro import obs
+from repro.errors import IOFaultError, PartialResponseError
 from repro.platform.untrusted import UntrustedStore
 
 
@@ -66,8 +67,12 @@ class RemoteUntrustedStore(UntrustedStore):
         if self.faults is not None:
             try:
                 self.faults.on_round_trip(op)
-            except Exception:
+            except IOFaultError:
+                # the hook only raises IOFaultError subclasses; anything
+                # else is a bug and must propagate *untallied* rather
+                # than masquerade as device trouble
                 self.stats.io_errors += 1
+                obs.add("remote.round_trip_faults")
                 raise
 
     # -- accounted operations ---------------------------------------------------

@@ -24,8 +24,10 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
+from repro import obs
 from repro.chunkstore.ops import DeallocatePartition, WriteChunk, WritePartition
 from repro.chunkstore.store import ChunkStore
+from repro.errors import TDBError
 from repro.objectstore.pickling import ObjectRef, pickle_value, unpickle_value
 from repro.objectstore.store import ObjectStore, Transaction, _DELETED
 
@@ -141,8 +143,18 @@ class SpillingTransaction(Transaction):
                 self.store.chunks.commit(
                     [DeallocatePartition(self._scratch_pid)]
                 )
-            except Exception:
-                pass  # cleanup is best-effort; collect_orphans sweeps later
+            except TDBError as exc:
+                # cleanup is best-effort; collect_orphans sweeps later —
+                # but the swallow is *recorded*, never silent, and only
+                # typed store errors qualify (a foreign exception is a
+                # bug and propagates)
+                obs.add("extensions.swallowed_errors")
+                obs.emit(
+                    "swallowed_error",
+                    where="spill.drop_scratch",
+                    error=type(exc).__name__,
+                    detail=str(exc),
+                )
             self._scratch_pid = None
 
 
@@ -170,7 +182,16 @@ class SpillingObjectStore(ObjectStore):
         for pid in list(self.chunks.partition_ids()):
             try:
                 state = self.chunks._state(pid)
-            except Exception:
+            except TDBError as exc:
+                # an unreadable leader (quarantined, tampered) just means
+                # this partition cannot be swept now; record the skip
+                obs.add("extensions.swallowed_errors")
+                obs.emit(
+                    "swallowed_error",
+                    where="spill.collect_orphans",
+                    error=type(exc).__name__,
+                    partition=pid,
+                )
                 continue
             if state.payload.name.startswith(_SPILL_PREFIX):
                 self.chunks.commit([DeallocatePartition(pid)])

@@ -13,6 +13,12 @@ deadlock handling appropriate for low concurrency.
 Lock upgrade (S → X) is supported when the requester is the sole shared
 holder; otherwise the upgrade waits like any other exclusive request (and
 two simultaneous upgraders deadlock and time out, as they must).
+
+Writer starvation: a pending exclusive request blocks *new* shared
+grants on the same ref (``_LockState.waiters``), so a steady stream of
+readers drains instead of starving the writer forever.  Transactions
+already holding the lock re-enter freely — blocking them would deadlock
+them against the very waiter they must release for.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Optional, Set
 
+from repro import obs
 from repro.errors import DeadlockError
 from repro.platform.clock import Clock, SystemClock
 
@@ -29,6 +36,8 @@ from repro.platform.clock import Clock, SystemClock
 class _LockState:
     shared: Set[int] = field(default_factory=set)
     exclusive: int = 0  # transaction id, 0 = none
+    #: exclusive requests currently blocked on this ref; while non-zero,
+    #: new shared grants are refused so the writer eventually runs
     waiters: int = 0
 
 
@@ -46,6 +55,8 @@ class LockManager:
         #: transaction id -> refs it holds (for release_all)
         self._held: Dict[int, Set[Hashable]] = {}
         self.deadlocks_broken = 0
+        #: acquisitions that had to wait at least once
+        self.waits = 0
 
     def acquire_shared(self, tx_id: int, ref: Hashable) -> None:
         """Take (or wait for) a shared lock on ``ref``; an exclusive lock
@@ -60,14 +71,18 @@ class LockManager:
                 # object — granting ourselves on the stale one would break
                 # mutual exclusion
                 state = self._locks.setdefault(ref, _LockState())
-                if state.exclusive in (0, tx_id):
-                    if state.exclusive == tx_id:
-                        return  # X subsumes S
+                if state.exclusive == tx_id:
+                    return  # X subsumes S
+                if tx_id in state.shared:
+                    return  # already held; re-entry must never block
+                if state.exclusive == 0 and state.waiters == 0:
                     state.shared.add(tx_id)
                     self._held.setdefault(tx_id, set()).add(ref)
                     return
                 if deadline is None:
                     deadline = self._now() + self.timeout
+                    self.waits += 1
+                    obs.add("locks.waits")
                 if not self.clock.wait_on(
                     self._condition, self._remaining(deadline)
                 ):
@@ -91,9 +106,19 @@ class LockManager:
                     return
                 if deadline is None:
                     deadline = self._now() + self.timeout
-                if not self.clock.wait_on(
-                    self._condition, self._remaining(deadline)
-                ):
+                    self.waits += 1
+                    obs.add("locks.waits")
+                # register on *this* state object and deregister on the
+                # same one: release_all may pop it from the dict while we
+                # wait, and a replacement starts fresh at waiters == 0
+                state.waiters += 1
+                try:
+                    granted = self.clock.wait_on(
+                        self._condition, self._remaining(deadline)
+                    )
+                finally:
+                    state.waiters -= 1
+                if not granted:
                     self._timeout(tx_id, ref, "exclusive")
 
     def release_all(self, tx_id: int) -> None:
@@ -121,6 +146,16 @@ class LockManager:
                 return state.exclusive == tx_id
             return state.exclusive == tx_id or tx_id in state.shared
 
+    def stats(self) -> Dict[str, int]:
+        """Lock-manager tallies (surfaced via ``ObjectStore.stats()``)."""
+        with self._mutex:
+            return {
+                "held_refs": len(self._locks),
+                "active_transactions": len(self._held),
+                "waits": self.waits,
+                "deadlocks_broken": self.deadlocks_broken,
+            }
+
     # ------------------------------------------------------------------
 
     def _now(self) -> float:
@@ -131,6 +166,8 @@ class LockManager:
 
     def _timeout(self, tx_id: int, ref: Hashable, mode: str) -> None:
         self.deadlocks_broken += 1
+        obs.add("locks.deadlocks_broken")
+        obs.emit("deadlock_broken", tx=tx_id, ref=str(ref), mode=mode)
         raise DeadlockError(
             f"transaction {tx_id} timed out acquiring {mode} lock on {ref}; "
             f"presumed deadlock — aborting"

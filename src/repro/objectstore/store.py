@@ -40,6 +40,7 @@ import threading
 from enum import Enum
 from typing import Any, Dict, List, Optional
 
+from repro import obs
 from repro.bench.profiler import profiled
 from repro.chunkstore.ops import DeallocateChunk, WriteChunk, WritePartition
 from repro.chunkstore.store import ChunkStore
@@ -123,6 +124,12 @@ class ObjectStore:
     def transaction(self) -> "Transaction":
         """Begin a new serializable transaction (use as a context manager)."""
         return Transaction(self)
+
+    def stats(self) -> Dict[str, object]:
+        """Operation counts plus lock-manager tallies — including
+        ``deadlocks_broken`` and ``waits``, which previously had no
+        read-out path."""
+        return {"ops": dict(self.op_counts), "locks": self.locks.stats()}
 
     def read_committed(self, ref: ObjectRef) -> Any:
         """Read outside any transaction (no isolation guarantees)."""
@@ -314,25 +321,30 @@ class Transaction:
         self._require_active()
         store = self.store
         try:
-            with profiled("object store"):
-                ops: List[object] = []
+            with obs.span(
+                "tx_commit", tx=self.tx_id, writes=len(self._writes)
+            ), obs.time_block("objectstore.tx_commit"):
+                with profiled("object store"):
+                    ops: List[object] = []
+                    for ref, value in self._writes.items():
+                        if value is _DELETED:
+                            if ref not in self._created:
+                                ops.append(
+                                    DeallocateChunk(ref.partition, ref.rank)
+                                )
+                        else:
+                            data = pickle_value(value, store.registry)
+                            ops.append(WriteChunk(ref.partition, ref.rank, data))
+                if ops:
+                    with store._commit_mutex:
+                        store.chunks.commit(ops)
+                store.op_counts["commit"] += 1
                 for ref, value in self._writes.items():
                     if value is _DELETED:
-                        if ref not in self._created:
-                            ops.append(DeallocateChunk(ref.partition, ref.rank))
+                        store.cache.evict(ref)
                     else:
-                        data = pickle_value(value, store.registry)
-                        ops.append(WriteChunk(ref.partition, ref.rank, data))
-            if ops:
-                with store._commit_mutex:
-                    store.chunks.commit(ops)
-            store.op_counts["commit"] += 1
-            for ref, value in self._writes.items():
-                if value is _DELETED:
-                    store.cache.evict(ref)
-                else:
-                    store.cache.put(ref, value)
-            self.status = TxStatus.COMMITTED
+                        store.cache.put(ref, value)
+                self.status = TxStatus.COMMITTED
         except BaseException:
             self.abort()
             raise
@@ -344,6 +356,8 @@ class Transaction:
         if self.status != TxStatus.ACTIVE:
             return
         store = self.store
+        obs.add("objectstore.tx_aborts")
+        obs.emit("tx_abort", tx=self.tx_id, writes=len(self._writes))
         for ref in self._writes:
             store.cache.evict(ref)
             # the chunk-level payload cache holds the same (possibly

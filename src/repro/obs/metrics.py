@@ -1,0 +1,190 @@
+"""Metrics registry: named counters plus log-scale latency histograms.
+
+The registry unifies the counters scattered across the stack
+(``ChunkStore.stats()``, ``IOStats``, lock tallies) under one namespace
+and adds what raw counters cannot express: latency *distributions*.
+Histograms use power-of-two microsecond buckets — ``record()`` is one
+``bit_length()`` call and a list increment, cheap enough to leave on —
+and report p50/p95/p99 as the upper bound of the bucket containing that
+rank, the standard trade of resolution (±2×) for constant-time capture.
+
+Everything here is process-global and thread-tolerant under the GIL:
+increments are plain ``int`` adds and list-index bumps, so contention can
+at worst drop a count, never corrupt a structure.  The facade's
+``suspend()`` turns recording into a no-op for overhead baselines.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: histogram buckets: bucket ``b`` holds samples in [2^(b-1), 2^b) µs;
+#: 48 buckets covers ~8.9 years, comfortably everything
+BUCKETS = 48
+
+
+class Counter:
+    """A named monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+
+class LatencyHistogram:
+    """Log₂-scale latency histogram over microseconds.
+
+    ``record(seconds)`` buckets by ``int(µs).bit_length()`` — sub-µs
+    samples land in bucket 0.  Percentiles return the bucket's upper
+    bound in seconds (an overestimate by at most 2×), which is the right
+    bias for a floor check: reported p99 ≥ true p99.
+    """
+
+    __slots__ = ("name", "buckets", "count", "total", "max_seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: List[int] = [0] * BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0.0:
+            seconds = 0.0
+        bucket = int(seconds * 1e6).bit_length()
+        if bucket >= BUCKETS:  # pragma: no cover - ~9 years
+            bucket = BUCKETS - 1
+        self.buckets[bucket] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def percentile(self, p: float) -> float:
+        """Upper bound (seconds) of the bucket holding the p-quantile."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(p * self.count + 0.999999))
+        seen = 0
+        for bucket, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank:
+                return (1 << bucket) / 1e6
+        return self.max_seconds  # pragma: no cover - unreachable
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": round(self.mean, 9),
+            "p50_s": self.percentile(0.50),
+            "p95_s": self.percentile(0.95),
+            "p99_s": self.percentile(0.99),
+            "max_s": round(self.max_seconds, 9),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe name → Counter/LatencyHistogram registry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            with self._lock:
+                hist = self._histograms.setdefault(name, LatencyHistogram(name))
+        return hist
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            items = sorted(self._histograms.items())
+        return {name: h.snapshot() for name, h in items}
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"counters": self.counters(), "histograms": self.histograms()}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+
+# -- module-level singleton ---------------------------------------------------
+
+_registry = MetricsRegistry()
+_suspended = False
+
+
+def registry() -> MetricsRegistry:
+    return _registry
+
+
+def add(name: str, n: int = 1) -> None:
+    """Bump the named counter (no-op while suspended)."""
+    if _suspended:
+        return
+    _registry.counter(name).add(n)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Record one latency sample into the named histogram."""
+    if _suspended:
+        return
+    _registry.histogram(name).record(seconds)
+
+
+@contextmanager
+def time_block(name: str) -> Iterator[None]:
+    """Time the body and ``observe`` it under ``name``."""
+    if _suspended:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        _registry.histogram(name).record(time.perf_counter() - start)
+
+
+def counter_value(name: str) -> int:
+    counter = _registry._counters.get(name)
+    return counter.value if counter is not None else 0
+
+
+def histogram_for(name: str) -> Optional[LatencyHistogram]:
+    return _registry._histograms.get(name)
+
+
+def snapshot() -> Dict[str, object]:
+    return _registry.snapshot()
+
+
+def reset() -> None:
+    _registry.clear()

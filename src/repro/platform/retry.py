@@ -18,6 +18,7 @@ from typing import Callable, Optional, TypeVar
 
 import random
 
+from repro import obs
 from repro.errors import TransientIOError
 from repro.platform.clock import Clock, SystemClock
 from repro.platform.untrusted import IOStats
@@ -94,19 +95,23 @@ class Retrier:
             except TransientIOError:
                 retry_index += 1
                 if retry_index >= self.policy.max_attempts:
-                    self._give_up()
+                    self._give_up(op, retry_index)
                     raise
                 delay = self.policy.delay_for(retry_index - 1, self.rng)
                 if (
                     self.policy.deadline is not None
                     and self.clock.now() + delay - start > self.policy.deadline
                 ):
-                    self._give_up()
+                    self._give_up(op, retry_index)
                     raise
                 if self.stats is not None:
                     self.stats.retries += 1
+                obs.add("platform.retries")
+                obs.observe("platform.retry_backoff", delay)
                 self.clock.sleep(delay)
 
-    def _give_up(self) -> None:
+    def _give_up(self, op: str, attempts: int) -> None:
         if self.stats is not None:
             self.stats.gave_up += 1
+        obs.add("platform.retries_exhausted")
+        obs.emit("retry_exhausted", op=op, attempts=attempts)

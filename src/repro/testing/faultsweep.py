@@ -33,6 +33,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.chunkstore import ChunkStore, ops
 from repro.chunkstore.cleaner import Cleaner
 from repro.errors import (
@@ -298,6 +299,11 @@ class FaultSweep:
         faults.enabled = False
         fired = sum(faults.counts.values())
         platform.reboot()
+        # the judge's reopen starts with an empty in-memory quarantine, so
+        # every chunk quarantined by open/scrub/read-back below must have
+        # emitted a "quarantine" event after this mark — the obs event log
+        # is part of the reporting contract, not just a debugging aid
+        event_mark = obs.events.mark()
         try:
             store = ChunkStore.open(platform, self._open_config())
         except TDBError as exc:
@@ -395,6 +401,23 @@ class FaultSweep:
                     f"unreadable chunks missing from the quarantine report: "
                     f"{unreported}",
                 )
+            if not obs.events.suspended():
+                evented = {
+                    e.fields.get("chunk")
+                    for e in obs.events.since(event_mark)
+                    if e.kind == "quarantine"
+                }
+                silent = sorted(
+                    chunk
+                    for chunk in set(store.quarantined_chunks())
+                    if chunk not in evented
+                )
+                if silent:
+                    return (
+                        SILENT_FAULT_CORRUPTION,
+                        f"quarantined chunks never emitted a 'quarantine' "
+                        f"event: {silent}",
+                    )
             return (
                 QUARANTINED,
                 f"{fired} fault(s); {len(quarantined)} chunk(s) remain "

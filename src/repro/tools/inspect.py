@@ -9,22 +9,38 @@ Two views, mirroring the trust model:
 * the **trusted view** (given the platform): validated store statistics —
   partitions, chunk counts, log utilization, residual-log length.
 
+Two more views read the process-wide ``repro.obs`` layer:
+
+* the **metrics view**: latency histograms (p50/p95/p99 for reads,
+  commits, map walks, …), unified counters, and event-kind tallies;
+* the **trace view**: the most recent tracing spans, indented by
+  nesting depth (tracing must have been enabled).
+
 Usage (library)::
 
     from repro.tools.inspect import attacker_view, trusted_view
     print(render(attacker_view(untrusted_store)))
     print(render(trusted_view(chunk_store)))
+    print(render(metrics_view()))
 
-Usage (CLI, file-backed stores)::
+Usage (CLI)::
 
-    python -m repro.tools.inspect /path/to/store.img
+    python -m repro.tools.inspect /path/to/store.img   # attacker view
+    python -m repro.tools.inspect --metrics            # p50/p95/p99 table
+    python -m repro.tools.inspect --trace              # recent spans
+
+``--metrics``/``--trace`` run a short traced workload against a scratch
+in-memory store first (a fresh CLI process has no history to show), so
+the output demonstrates exactly what a live process would expose.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
+from repro import obs
 from repro.chunkstore.store import ChunkStore
 from repro.errors import ChunkStoreError, TamperDetectedError
 from repro.platform.untrusted import UntrustedStore
@@ -125,6 +141,60 @@ def trusted_view(store: ChunkStore) -> Dict[str, Any]:
     }
 
 
+def object_store_view(object_store) -> Dict[str, Any]:
+    """Object-store statistics: op counts and lock-manager tallies
+    (``waits``, ``deadlocks_broken``)."""
+    return object_store.stats()
+
+
+def _format_hist(snapshot: Dict[str, float]) -> Dict[str, Any]:
+    """Histogram snapshot with latencies converted to milliseconds."""
+    return {
+        "count": snapshot["count"],
+        "mean_ms": round(snapshot["mean_s"] * 1e3, 4),
+        "p50_ms": round(snapshot["p50_s"] * 1e3, 4),
+        "p95_ms": round(snapshot["p95_s"] * 1e3, 4),
+        "p99_ms": round(snapshot["p99_s"] * 1e3, 4),
+        "max_ms": round(snapshot["max_s"] * 1e3, 4),
+    }
+
+
+def metrics_view() -> Dict[str, Any]:
+    """The process-wide ``repro.obs`` registry: latency percentiles per
+    histogram, unified counters, and event-kind tallies."""
+    snap = obs.metrics.snapshot()
+    return {
+        "latency": {
+            name: _format_hist(hist)
+            for name, hist in snap["histograms"].items()
+        },
+        "counters": snap["counters"],
+        "events": obs.events.counts(),
+    }
+
+
+def trace_view(limit: int = 50) -> Dict[str, Any]:
+    """The last ``limit`` tracing spans, oldest first, indented by
+    nesting depth.  Empty unless tracing was enabled."""
+    records = obs.trace.records()[-limit:]
+    return {
+        "tracing_enabled": obs.trace.enabled(),
+        "spans": [
+            "  " * r.depth
+            + f"{r.name} {r.duration * 1e3:.3f}ms"
+            + (
+                " [" + " ".join(
+                    f"{k}={v}" for k, v in sorted(r.tags.items())
+                ) + "]"
+                if r.tags
+                else ""
+            )
+            for r in records
+        ],
+        "dropped": obs.trace.dropped(),
+    }
+
+
 def render(view: Dict[str, Any], indent: int = 0) -> str:
     """Human-readable rendering of a view dict."""
     lines: List[str] = []
@@ -138,26 +208,56 @@ def render(view: Dict[str, Any], indent: int = 0) -> str:
             for item in value:
                 rendered = ", ".join(f"{k}={v}" for k, v in item.items())
                 lines.append(f"{pad}  - {rendered}")
+        elif isinstance(value, list) and value and isinstance(value[0], str):
+            lines.append(f"{pad}{key}:")
+            for item in value:
+                lines.append(f"{pad}  {item}")
         else:
             lines.append(f"{pad}{key}: {value}")
     return "\n".join(lines)
 
 
-def main(argv: List[str]) -> int:
-    """CLI entry point: print the attacker view of a store image file."""
-    if len(argv) != 2:
-        print("usage: python -m repro.tools.inspect <store-image-file>")
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (see the module docstring for the views)."""
+    parser = argparse.ArgumentParser(
+        description="offline inspection of a TDB store"
+    )
+    parser.add_argument(
+        "image", nargs="?", help="store image file (attacker view)"
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="run a short traced workload and print the metrics view "
+             "(p50/p95/p99 latency table, counters, event tallies)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="run a short traced workload and print the trace view",
+    )
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    if not args.image and not (args.metrics or args.trace):
+        parser.print_usage()
         return 2
-    import os
 
-    from repro.platform.untrusted import FileUntrustedStore
+    if args.image:
+        import os
 
-    path = argv[1]
-    store = FileUntrustedStore(path, os.path.getsize(path))
-    print(render(attacker_view(store)))
-    store.close()
+        from repro.platform.untrusted import FileUntrustedStore
+
+        store = FileUntrustedStore(args.image, os.path.getsize(args.image))
+        print(render(attacker_view(store)))
+        store.close()
+
+    if args.metrics or args.trace:
+        from repro.obs.smoke import run_workload
+
+        run_workload()
+        if args.metrics:
+            print(render(metrics_view()))
+        if args.trace:
+            print(render(trace_view()))
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main())

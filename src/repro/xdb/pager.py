@@ -26,6 +26,7 @@ import struct
 from collections import OrderedDict
 from typing import Dict, List, Set, Tuple
 
+from repro import obs
 from repro.bench.profiler import profiled
 from repro.errors import IOFaultError, XDBError
 from repro.platform.untrusted import UntrustedStore
@@ -110,7 +111,8 @@ class Pager:
         if cached is not None:
             self._cache.move_to_end(page_no)
             return cached
-        with profiled("untrusted store read"):
+        with profiled("untrusted store read"), \
+                obs.time_block("xdb.page_read"):
             data = bytearray(self.store.read(page_no * PAGE_SIZE, PAGE_SIZE))
         self._cache[page_no] = data
         self._evict_if_needed()
@@ -205,6 +207,11 @@ class Pager:
         dirty = sorted(self._dirty)
         if not dirty:
             return
+        with obs.span("xdb_commit", pages=len(dirty)), \
+                obs.time_block("xdb.commit"):
+            self._commit_dirty(dirty)
+
+    def _commit_dirty(self, dirty: List[int]) -> None:
         self.commit_seq += 1
         # 1. append after-images + commit marker to the WAL; the header
         #    page (0) is journalled too, so allocation state recovers
@@ -250,6 +257,10 @@ class Pager:
     # ------------------------------------------------------------------
 
     def _recover(self) -> None:
+        with obs.span("xdb_recovery"), obs.time_block("xdb.recovery"):
+            self._recover_wal()
+
+    def _recover_wal(self) -> None:
         cursor = self.wal_offset
         pending: List[Tuple[int, bytes]] = []
         last_seq = self.commit_seq  # from the (forced) header

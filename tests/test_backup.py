@@ -228,3 +228,34 @@ class TestIntegrity:
         backup2 = BackupStore(store2)
         with pytest.raises((BackupIntegrityError, TamperDetectedError)):
             backup2.restore(["b1"])
+
+
+class TestClock:
+    def test_created_at_uses_the_platform_clock(self):
+        """Regression: ``created_at`` must come from the injectable
+        platform clock, not ``time.time()``, so tests (and any trusted
+        program with its own time source) control backup timestamps."""
+        from repro.platform.clock import FakeClock
+
+        clock = FakeClock(start=1234.5)
+        platform = make_platform(size=8 * 1024 * 1024, clock=clock)
+        store = ChunkStore.format(platform, make_config())
+        backup = BackupStore(store)
+        pid = store.allocate_partition()
+        store.commit(
+            [ops.WritePartition(pid, cipher_name="ctr-sha256", hash_name="sha1")]
+        )
+        rank = store.allocate_chunk(pid)
+        store.commit([ops.WriteChunk(pid, rank, b"timed" * 4)])
+        backup.create_backup([pid], "clocked")
+
+        clock.advance(100.0)
+        seen = []
+
+        def approve(descriptors):
+            seen.extend(d.created_at for d in descriptors)
+            return False
+
+        with pytest.raises(BackupError):
+            backup.restore(["clocked"], approve=approve)
+        assert seen == [1234.5]

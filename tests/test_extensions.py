@@ -222,3 +222,101 @@ class TestSpilling:
         assert tx.spilled_count > 0
         assert b"SPILLME-" not in platform.untrusted.tamper_image()
         tx.abort()
+
+
+class TestSwallowedErrors:
+    """Best-effort cleanup may swallow *typed* store errors, but every
+    swallow is recorded in the obs event log; foreign errors propagate."""
+
+    def build(self, threshold=2):
+        platform = make_platform(size=8 * 1024 * 1024)
+        chunks = ChunkStore.format(platform, make_config())
+        objects = SpillingObjectStore(chunks, spill_threshold=threshold)
+        pid = objects.create_partition(
+            cipher_name="ctr-sha256", hash_name="sha1"
+        )
+        return chunks, objects, pid
+
+    def test_drop_scratch_failure_is_evented_not_silent(self):
+        from repro import obs
+        from repro.chunkstore.ops import DeallocatePartition
+        from repro.errors import ChunkStoreError
+
+        chunks, objects, pid = self.build()
+        tx = objects.transaction()
+        for i in range(5):  # exceed the threshold so a scratch exists
+            tx.create(pid, f"value-{i}" * 20)
+        assert tx._scratch_pid is not None
+
+        real_commit = chunks.commit
+
+        def failing_commit(operations):
+            if any(isinstance(op, DeallocatePartition) for op in operations):
+                raise ChunkStoreError("injected deallocate failure")
+            return real_commit(operations)
+
+        mark = obs.events.mark()
+        before = obs.metrics.counter_value("extensions.swallowed_errors")
+        chunks.commit = failing_commit
+        try:
+            tx.commit()  # must succeed despite the failed scratch drop
+        finally:
+            chunks.commit = real_commit
+        swallowed = [
+            e for e in obs.events.since(mark) if e.kind == "swallowed_error"
+        ]
+        assert len(swallowed) == 1
+        assert swallowed[0].fields["where"] == "spill.drop_scratch"
+        assert swallowed[0].fields["error"] == "ChunkStoreError"
+        assert (
+            obs.metrics.counter_value("extensions.swallowed_errors")
+            == before + 1
+        )
+
+    def test_collect_orphans_skip_is_evented(self):
+        from repro import obs
+        from repro.errors import ChunkStoreError
+
+        chunks, objects, pid = self.build()
+        real_state = chunks._state
+
+        def flaky_state(partition):
+            if partition == pid:
+                raise ChunkStoreError("leader unreadable")
+            return real_state(partition)
+
+        mark = obs.events.mark()
+        chunks._state = flaky_state
+        try:
+            objects.collect_orphans()  # must not raise: pid is skipped
+        finally:
+            chunks._state = real_state
+        swallowed = [
+            e for e in obs.events.since(mark) if e.kind == "swallowed_error"
+        ]
+        assert len(swallowed) == 1
+        assert swallowed[0].fields["where"] == "spill.collect_orphans"
+        assert swallowed[0].fields["partition"] == pid
+
+    def test_foreign_error_in_drop_scratch_propagates(self):
+        chunks, objects, pid = self.build()
+        tx = objects.transaction()
+        for i in range(5):
+            tx.create(pid, f"value-{i}" * 20)
+        assert tx._scratch_pid is not None
+
+        real_commit = chunks.commit
+
+        def broken_commit(operations):
+            from repro.chunkstore.ops import DeallocatePartition
+
+            if any(isinstance(op, DeallocatePartition) for op in operations):
+                raise RuntimeError("a bug, not a store failure")
+            return real_commit(operations)
+
+        chunks.commit = broken_commit
+        try:
+            with pytest.raises(RuntimeError):
+                tx.commit()
+        finally:
+            chunks.commit = real_commit

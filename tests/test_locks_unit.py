@@ -109,6 +109,77 @@ class TestRelease:
         assert locks.deadlocks_broken == 3
 
 
+class TestWriterFairness:
+    def test_pending_writer_blocks_new_readers(self):
+        """Regression: a stream of readers must not starve a waiting
+        writer — while an X request waits, *new* S grants are refused, so
+        the writer runs as soon as the current readers drain."""
+        locks = LockManager(timeout=2.0)
+        locks.acquire_shared(1, "r")
+        order = []
+
+        def writer():
+            locks.acquire_exclusive(2, "r")
+            order.append("writer")
+            locks.release_all(2)
+
+        def late_reader():
+            locks.acquire_shared(3, "r")
+            order.append("reader")
+            locks.release_all(3)
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        deadline = time.time() + 1.0
+        while locks.stats()["waits"] < 1 and time.time() < deadline:
+            time.sleep(0.005)  # until the writer is registered waiting
+        reader_thread = threading.Thread(target=late_reader)
+        reader_thread.start()
+        time.sleep(0.05)  # give the late reader every chance to jump the queue
+        assert order == []  # neither ran: reader correctly held back
+        locks.release_all(1)
+        writer_thread.join(1.0)
+        reader_thread.join(1.0)
+        assert order == ["writer", "reader"]
+
+    def test_holder_reentry_not_blocked_by_waiter(self):
+        """A reader that already holds S must re-enter freely even while
+        a writer waits — blocking it would deadlock both."""
+        locks = LockManager(timeout=1.0)
+        locks.acquire_shared(1, "r")
+
+        def writer():
+            try:
+                locks.acquire_exclusive(2, "r")
+            except DeadlockError:
+                pass
+            finally:
+                locks.release_all(2)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        deadline = time.time() + 1.0
+        while locks.stats()["waits"] < 1 and time.time() < deadline:
+            time.sleep(0.005)
+        locks.acquire_shared(1, "r")  # re-entry: must return immediately
+        assert locks.holds(1, "r")
+        locks.release_all(1)
+        thread.join(2.0)
+
+    def test_stats_counts_waits_and_deadlocks(self):
+        locks = LockManager(timeout=0.02)
+        stats = locks.stats()
+        assert stats["waits"] == 0 and stats["deadlocks_broken"] == 0
+        locks.acquire_exclusive(1, "r")
+        with pytest.raises(DeadlockError):
+            locks.acquire_exclusive(2, "r")
+        stats = locks.stats()
+        assert stats["waits"] == 1
+        assert stats["deadlocks_broken"] == 1
+        assert stats["held_refs"] == 1
+        assert stats["active_transactions"] == 1
+
+
 class TestStaleStateRegression:
     def test_waiter_does_not_grant_on_orphaned_state(self):
         """Regression: release_all pops empty state objects; a waiter

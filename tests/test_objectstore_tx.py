@@ -291,3 +291,52 @@ class TestPersistence:
         platform.untrusted.stats.reset()
         objects.read_committed(ref)  # cache hit from the commit
         assert platform.untrusted.stats.reads == 0
+
+
+class TestStats:
+    def test_stats_exposes_ops_and_lock_tallies(self, env):
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            tx.create(pid, "counted")
+        stats = objects.stats()
+        assert stats["ops"]["add"] == 1
+        assert stats["ops"]["commit"] == 1
+        locks = stats["locks"]
+        assert locks["waits"] == 0
+        assert locks["deadlocks_broken"] == 0
+        assert locks["active_transactions"] == 0  # released at commit
+
+    def test_deadlock_surfaces_in_stats_and_event_log(self, env):
+        from repro import obs
+
+        _, _, objects, pid = env
+        with objects.transaction() as tx:
+            ref = tx.create(pid, "contended")
+        mark = obs.events.mark()
+        tx1 = objects.transaction()
+        tx1.update(ref, "held")
+        tx2 = objects.transaction()
+        with pytest.raises(DeadlockError):
+            tx2.update(ref, "blocked")
+        tx2.abort()
+        tx1.abort()
+        stats = objects.stats()
+        assert stats["locks"]["waits"] >= 1
+        assert stats["locks"]["deadlocks_broken"] == 1
+        broken = [
+            e for e in obs.events.since(mark) if e.kind == "deadlock_broken"
+        ]
+        assert len(broken) == 1
+        assert broken[0].fields["mode"] == "exclusive"
+
+    def test_abort_emits_event(self, env):
+        from repro import obs
+
+        _, _, objects, pid = env
+        mark = obs.events.mark()
+        tx = objects.transaction()
+        tx.create(pid, "doomed")
+        tx.abort()
+        aborts = [e for e in obs.events.since(mark) if e.kind == "tx_abort"]
+        assert len(aborts) == 1
+        assert aborts[0].fields["writes"] == 1

@@ -1,0 +1,214 @@
+"""The ``repro.obs`` layer: tracing spans, latency histograms, and the
+structured event log, plus the end-to-end smoke workload."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import BUCKETS, LatencyHistogram
+from repro.obs.trace import _NULL_SPAN, Tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Isolate each test from the process-global obs state."""
+    obs.reset()
+    obs.disable_tracing()
+    yield
+    obs.reset()
+    obs.disable_tracing()
+
+
+class TestTracing:
+    def test_disabled_span_is_the_shared_null_object(self):
+        assert obs.span("anything") is _NULL_SPAN
+        assert obs.span("other", pid=3) is _NULL_SPAN
+        with obs.span("noop"):
+            pass
+        assert obs.trace.records() == []
+
+    def test_enabled_span_records_name_duration_tags(self):
+        obs.enable_tracing()
+        with obs.span("commit", ops=4):
+            pass
+        (record,) = obs.trace.records()
+        assert record.name == "commit"
+        assert record.tags == {"ops": 4}
+        assert record.duration >= 0.0
+        assert record.depth == 0 and record.parent is None
+
+    def test_nesting_tracks_depth_and_parent(self):
+        obs.enable_tracing()
+        with obs.span("commit"):
+            with obs.span("map_walk"):
+                pass
+        inner, outer = obs.trace.records()  # children finish first
+        assert (inner.name, inner.depth, inner.parent) == ("map_walk", 1, "commit")
+        assert (outer.name, outer.depth, outer.parent) == ("commit", 0, None)
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        from repro.obs.trace import SpanRecord
+
+        tracer = Tracer(capacity=4)
+        for i in range(6):
+            tracer.record(
+                SpanRecord(
+                    seq=i, name=f"s{i}", start=0.0, duration=0.0,
+                    depth=0, parent=None, thread=0,
+                )
+            )
+        assert len(tracer.records()) == 4
+        assert tracer.dropped == 2
+
+    def test_nesting_is_per_thread(self):
+        obs.enable_tracing()
+        seen = []
+
+        def worker():
+            with obs.span("other_thread"):
+                pass
+            seen.extend(r for r in obs.trace.records()
+                        if r.name == "other_thread")
+
+        with obs.span("main_thread"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        (record,) = seen
+        assert record.depth == 0  # the main thread's open span is invisible
+
+
+class TestHistograms:
+    def test_bucket_math(self):
+        hist = LatencyHistogram("t")
+        hist.record(0.0)  # bucket 0
+        hist.record(1e-6)  # 1 µs -> bucket 1
+        hist.record(100e-6)  # 100 µs -> bucket 7 (64..128)
+        assert hist.buckets[0] == 1
+        assert hist.buckets[1] == 1
+        assert hist.buckets[7] == 1
+        assert hist.count == 3
+
+    def test_percentile_is_bucket_upper_bound(self):
+        hist = LatencyHistogram("t")
+        for _ in range(100):
+            hist.record(100e-6)
+        # all samples in [64, 128) µs; the reported quantile is 128 µs
+        assert hist.percentile(0.50) == pytest.approx(128e-6)
+        assert hist.percentile(0.99) == pytest.approx(128e-6)
+
+    def test_percentiles_monotone(self):
+        hist = LatencyHistogram("t")
+        for us in (1, 2, 4, 50, 400, 10_000):
+            for _ in range(10):
+                hist.record(us * 1e-6)
+        snap = hist.snapshot()
+        assert snap["p50_s"] <= snap["p95_s"] <= snap["p99_s"]
+        assert snap["p99_s"] >= snap["max_s"] / 2  # ≤2× resolution bias
+
+    def test_extreme_sample_clamps_to_last_bucket(self):
+        hist = LatencyHistogram("t")
+        hist.record(2.0 ** 60)
+        assert hist.buckets[BUCKETS - 1] == 1
+
+    def test_negative_duration_clamps_to_zero(self):
+        hist = LatencyHistogram("t")
+        hist.record(-1.0)
+        assert hist.buckets[0] == 1
+        assert hist.max_seconds == 0.0
+
+    def test_time_block_feeds_named_histogram(self):
+        with obs.time_block("unit.block"):
+            pass
+        hist = obs.metrics.histogram_for("unit.block")
+        assert hist is not None and hist.count == 1
+
+    def test_counters_accumulate(self):
+        obs.add("unit.counter")
+        obs.add("unit.counter", 4)
+        assert obs.metrics.counter_value("unit.counter") == 5
+
+
+class TestEvents:
+    def test_mark_and_since(self):
+        obs.emit("alpha", n=1)
+        mark = obs.events.mark()
+        obs.emit("beta", n=2)
+        tail = obs.events.since(mark)
+        assert [e.kind for e in tail] == ["beta"]
+        assert tail[0].fields == {"n": 2}
+
+    def test_counts_survive_ring_eviction(self):
+        from repro.obs.events import EventLog
+
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("spin", i=i)
+        assert len(log.events()) == 4
+        assert log.count("spin") == 10
+
+    def test_find_filters_by_kind(self):
+        obs.emit("quarantine", chunk="1:0.3")
+        obs.emit("repair", chunk="1:0.3")
+        found = obs.events.find("quarantine")
+        assert len(found) == 1 and found[0].fields["chunk"] == "1:0.3"
+
+
+class TestSuspendReset:
+    def test_suspend_noops_all_three_subsystems(self):
+        obs.enable_tracing()
+        with obs.suspend():
+            obs.add("unit.suspended")
+            obs.emit("suspended_event")
+            assert obs.span("suspended_span") is _NULL_SPAN
+            with obs.time_block("unit.suspended_hist"):
+                pass
+        assert obs.metrics.counter_value("unit.suspended") == 0
+        assert obs.metrics.histogram_for("unit.suspended_hist") is None
+        assert obs.events.count("suspended_event") == 0
+        assert obs.trace.records() == []
+        # and restores afterwards
+        assert obs.trace.enabled()
+        obs.add("unit.after")
+        assert obs.metrics.counter_value("unit.after") == 1
+
+    def test_reset_clears_but_keeps_tracing_state(self):
+        obs.enable_tracing()
+        obs.add("unit.x")
+        obs.emit("unit_event")
+        with obs.span("s"):
+            pass
+        obs.reset()
+        assert obs.metrics.counter_value("unit.x") == 0
+        assert obs.events.counts() == {}
+        assert obs.trace.records() == []
+        assert obs.trace.enabled()
+
+    def test_snapshot_merges_events(self):
+        obs.add("unit.c")
+        obs.emit("unit_event")
+        snap = obs.snapshot()
+        assert snap["counters"]["unit.c"] == 1
+        assert snap["events"]["unit_event"] == 1
+
+
+class TestSmokeWorkload:
+    def test_smoke_main_passes(self):
+        from repro.obs import smoke
+
+        assert smoke.main() == 0
+
+    def test_inspect_metrics_view_has_read_and_commit_percentiles(self):
+        from repro.obs.smoke import run_workload
+        from repro.tools.inspect import metrics_view, trace_view
+
+        run_workload()
+        view = metrics_view()
+        for name in ("chunkstore.read", "chunkstore.commit"):
+            hist = view["latency"][name]
+            assert hist["count"] > 0
+            assert 0 < hist["p50_ms"] <= hist["p95_ms"] <= hist["p99_ms"]
+        spans = trace_view()
+        assert spans["tracing_enabled"]
+        assert any("commit" in line for line in spans["spans"])

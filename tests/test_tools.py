@@ -101,11 +101,11 @@ class TestCli:
         store = ChunkStore.format(platform, make_config())
         store.close()
         file_store.close()
-        assert main(["inspect", path]) == 0
+        assert main([path]) == 0
         out = capsys.readouterr().out
         assert "TDB v1" in out
 
     def test_cli_usage(self, capsys):
         from repro.tools.inspect import main
 
-        assert main(["inspect"]) == 2
+        assert main([]) == 2
