@@ -12,9 +12,16 @@ Measures each registered cipher in three configurations:
 
 All three produce byte-identical ciphertext for the same IV, so the
 speedups are free: the on-disk format does not depend on which path ran.
+
+The AEAD tier (aes-256-gcm, chacha20-poly1305) is measured in its only
+configuration — the OpenSSL backend; it has no pure-Python fallback — and
+with a representative header-sized AAD, since the one-pass chunk format
+always binds the version header through it.
+
 Results go to ``BENCH_crypto.json``; ``--check`` exits non-zero when the
-acceptance floors (DES-CBC ≥ 3×, ctr-sha256 ≥ 2× over fallback) are not
-met, which CI uses as a perf-regression smoke test.
+acceptance floors (DES-CBC ≥ 3×, ctr-sha256 ≥ 2× over fallback; each AEAD
+suite ≥ 50 MB/s absolute when the backend is present) are not met, which
+CI uses as a perf-regression smoke test.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ import sys
 import time
 from typing import Dict
 
-from repro.crypto import accel
+from repro.crypto import accel, aead
 from repro.crypto.cipher import Cipher
 from repro.crypto.des import Des, TripleDes
 from repro.crypto.modes import CbcCipher, CtrStreamCipher
@@ -38,8 +45,21 @@ _KEYS = {
     "ctr-sha256": bytes(range(16)),
 }
 
+_AEAD_KEYS = {
+    "aes-256-gcm": bytes(range(32)),
+    "chacha20-poly1305": bytes(range(32, 64)),
+}
+
 #: acceptance floors: fast-path speedup over the fallback loop
 FLOORS = {"des-cbc": 3.0, "ctr-sha256": 2.0}
+
+#: absolute floor for the default (AEAD) suite — the tentpole target of
+#: ≥ 50 MB/s partition-cipher bandwidth; enforced only when the backend
+#: is present (the fallback leg has no AEAD path to measure)
+AEAD_FLOOR_MB_S = 50.0
+
+#: a version header's worth of associated data, as the one-pass format binds
+_AAD = bytes(range(48))
 
 VARIANTS = ("fast", "python-bulk", "fallback")
 
@@ -100,6 +120,30 @@ def run(size: int, repeat: int) -> Dict[str, object]:
             2,
         )
         ciphers[name] = entry
+
+    aead_ciphers: Dict[str, Dict[str, float]] = {}
+    if aead.available():
+        for name, key in _AEAD_KEYS.items():
+            cipher = aead.make_aes_256_gcm(key) if name == "aes-256-gcm" \
+                else aead.make_chacha20_poly1305(key)
+            ciphertext = cipher.encrypt(buffer, aad=_AAD)
+            aead_ciphers[name] = {
+                "encrypt_mb_s": round(
+                    _bandwidth(
+                        lambda: cipher.encrypt(buffer, aad=_AAD), size, repeat
+                    ),
+                    3,
+                ),
+                "decrypt_mb_s": round(
+                    _bandwidth(
+                        lambda: cipher.decrypt(ciphertext, aad=_AAD),
+                        size,
+                        repeat,
+                    ),
+                    3,
+                ),
+            }
+
     return {
         "buffer_bytes": size,
         "repeat": repeat,
@@ -107,8 +151,14 @@ def run(size: int, repeat: int) -> Dict[str, object]:
             "available": accel.available(),
             "reason_unavailable": accel.unavailable_reason(),
         },
+        "aead": {
+            "available": aead.available(),
+            "reason_unavailable": aead.unavailable_reason(),
+            "floor_mb_s": AEAD_FLOOR_MB_S,
+        },
         "floors": FLOORS,
         "ciphers": ciphers,
+        "aead_ciphers": aead_ciphers,
     }
 
 
@@ -138,12 +188,21 @@ def main(argv=None) -> int:
     ciphers = results["ciphers"]
     for name, entry in ciphers.items():
         print(
-            f"{name:>11}: fast {entry['fast']['encrypt_mb_s']:8.2f} MB/s  "
+            f"{name:>17}: fast {entry['fast']['encrypt_mb_s']:8.2f} MB/s  "
             f"python-bulk {entry['python-bulk']['encrypt_mb_s']:8.2f}  "
             f"fallback {entry['fallback']['encrypt_mb_s']:8.2f}  "
             f"(speedup {entry['speedup_encrypt']:.1f}x enc / "
             f"{entry['speedup_decrypt']:.1f}x dec)"
         )
+    aead_ciphers = results["aead_ciphers"]
+    for name, entry in aead_ciphers.items():
+        print(
+            f"{name:>17}: aead {entry['encrypt_mb_s']:8.2f} MB/s enc / "
+            f"{entry['decrypt_mb_s']:8.2f} MB/s dec "
+            f"(floor {AEAD_FLOOR_MB_S:.0f} MB/s)"
+        )
+    if not aead_ciphers:
+        print(f"AEAD tier not measured: {results['aead']['reason_unavailable']}")
     print(f"wrote {args.out}")
 
     if args.check:
@@ -156,6 +215,15 @@ def main(argv=None) -> int:
                 print(
                     f"FAIL: {name} fast path is {speedup:.1f}x over fallback, "
                     f"floor is {floor:.1f}x",
+                    file=sys.stderr,
+                )
+                failed = True
+        for name, entry in aead_ciphers.items():
+            bandwidth = min(entry["encrypt_mb_s"], entry["decrypt_mb_s"])
+            if bandwidth < AEAD_FLOOR_MB_S:
+                print(
+                    f"FAIL: {name} runs at {bandwidth:.1f} MB/s, floor is "
+                    f"{AEAD_FLOOR_MB_S:.1f} MB/s",
                     file=sys.stderr,
                 )
                 failed = True

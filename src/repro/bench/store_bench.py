@@ -17,11 +17,22 @@ validated-payload cache's savings — skipped decrypt + hash + device reads
 * ``scan`` — round-trip counts for a full scan, batched vs one read per
   chunk.
 
-Results go to ``BENCH_store.json``; ``--check`` exits non-zero unless the
-acceptance floors hold (warm repeated-read throughput ≥ 5× the uncached
-baseline, and the warm pass issues fewer device round trips than the cold
-pass), which CI uses as a perf-regression smoke test.  ``--tiny`` shrinks
-the run for CI smoke.
+The bench runs two partition-cipher tiers:
+
+* the **slow tier** (pure-Python ``xtea-cbc`` + ``sha256``) — the
+  configuration where the validated-payload cache's savings dominate
+  timing noise, and the historical baseline every prior BENCH number used;
+* the **default tier** (``--cipher``, default ``aes-256-gcm`` when the
+  AEAD backend is present) — the one-pass authenticated path, where the
+  descriptor digest is the auth tag and the separate hash pass is skipped.
+
+Results go to ``BENCH_store.json`` (slow tier at the top level, the
+default tier under ``"default_tier"``); ``--check`` exits non-zero unless
+the acceptance floors hold (warm repeated-read throughput ≥ 5× the
+uncached baseline on the slow tier, warm round trips < cold on both, and
+default-tier uncached reads ≥ 400 ops/s — 3× the pre-AEAD 132 ops/s
+baseline), which CI uses as a perf-regression smoke test.  ``--tiny``
+shrinks the run for CI smoke.
 """
 
 from __future__ import annotations
@@ -30,23 +41,33 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict
+from typing import Dict, Optional
 
 from repro import obs
 from repro.chunkstore import ChunkStore, StoreConfig, ops
+from repro.crypto import aead
 from repro.platform.trusted_platform import TrustedPlatform
 
 #: acceptance floor: warm payload-cache reads over the uncached baseline
+#: (slow tier only — an AEAD tier's uncached reads are fast enough that
+#: the cache's margin over them is not the interesting number)
 WARM_SPEEDUP_FLOOR = 5.0
+
+#: acceptance floor: default-tier uncached reads, ops/s — 3× the 132
+#: ops/s the slow tier measured before the AEAD tier existed
+UNCACHED_OPS_FLOOR = 400.0
 
 #: acceptance ceiling: cost of the always-on obs layer (tracing disabled,
 #: metrics + events live) over the same workload with obs fully suspended
 OBS_OVERHEAD_CEILING_PCT = 5.0
 
-#: the bench partition's cipher/hash: the slowest registered pair, i.e.
-#: the configuration where the read path's crypto cost is most visible
+#: the slow tier's cipher/hash: the slowest registered pair, i.e. the
+#: configuration where the read path's crypto cost is most visible
 PARTITION_CIPHER = "xtea-cbc"
 PARTITION_HASH = "sha256"
+
+#: the default tier's suite when ``--cipher auto`` finds the AEAD backend
+DEFAULT_AEAD_CIPHER = "aes-256-gcm"
 
 
 def _config(payload_cache: bool = True) -> StoreConfig:
@@ -60,7 +81,21 @@ def _config(payload_cache: bool = True) -> StoreConfig:
     )
 
 
-def run(chunks: int, chunk_size: int, repeats: int) -> Dict[str, object]:
+def resolve_cipher(requested: str) -> Optional[str]:
+    """Map ``--cipher`` to the default tier's suite; ``None`` means the
+    default tier is skipped (AEAD backend absent under ``auto``)."""
+    if requested != "auto":
+        return requested
+    return DEFAULT_AEAD_CIPHER if aead.available() else None
+
+
+def run(
+    chunks: int,
+    chunk_size: int,
+    repeats: int,
+    cipher: str = PARTITION_CIPHER,
+    hash_name: str = PARTITION_HASH,
+) -> Dict[str, object]:
     obs.reset()  # per-phase histograms below cover this run only
     platform = TrustedPlatform.create_in_memory(untrusted_size=16 * 1024 * 1024)
     io = platform.untrusted.stats
@@ -68,16 +103,15 @@ def run(chunks: int, chunk_size: int, repeats: int) -> Dict[str, object]:
         "chunks": chunks,
         "chunk_size": chunk_size,
         "repeats": repeats,
-        "partition_cipher": PARTITION_CIPHER,
-        "partition_hash": PARTITION_HASH,
+        "partition_cipher": cipher,
+        "partition_hash": hash_name,
     }
 
     # -- write ---------------------------------------------------------------
     store = ChunkStore.format(platform, _config())
     pid = store.allocate_partition()
     store.commit(
-        [ops.WritePartition(pid, cipher_name=PARTITION_CIPHER,
-                            hash_name=PARTITION_HASH)]
+        [ops.WritePartition(pid, cipher_name=cipher, hash_name=hash_name)]
     )
     payload = bytes(i & 0xFF for i in range(chunk_size))
     before = io.snapshot()
@@ -254,6 +288,27 @@ def check(results: Dict[str, object]) -> int:
             file=sys.stderr,
         )
         failed = True
+    default_tier = results.get("default_tier")
+    if default_tier is not None:
+        uncached_ops = default_tier["uncached_read"]["ops_per_sec"]
+        if uncached_ops < UNCACHED_OPS_FLOOR:
+            print(
+                f"FAIL: default tier ({default_tier['partition_cipher']}) "
+                f"uncached reads run at {uncached_ops:.0f} ops/s, floor is "
+                f"{UNCACHED_OPS_FLOOR:.0f} ops/s",
+                file=sys.stderr,
+            )
+            failed = True
+        if (
+            default_tier["warm_read"]["round_trips"]
+            >= default_tier["cold_read"]["round_trips"]
+        ):
+            print(
+                "FAIL: default tier's warm pass issued at least as many "
+                "round trips as its cold pass",
+                file=sys.stderr,
+            )
+            failed = True
     if failed:
         return 1
     print("acceptance floors met")
@@ -280,6 +335,13 @@ def main(argv=None) -> int:
         help="CI smoke sizing (8 chunks, 2 repeats)"
     )
     parser.add_argument(
+        "--cipher", default="auto",
+        choices=("auto", "aes-256-gcm", "chacha20-poly1305", "xtea-cbc",
+                 "ctr-sha256"),
+        help="default-tier partition cipher (auto: aes-256-gcm when the "
+             "AEAD backend is present, else slow tier only)"
+    )
+    parser.add_argument(
         "--check", action="store_true",
         help="exit 1 unless the acceptance floors are met"
     )
@@ -287,31 +349,49 @@ def main(argv=None) -> int:
     if args.tiny:
         args.chunks, args.repeats = 8, 2
 
+    def _print_tier(tier: Dict[str, object], label: str) -> None:
+        print(f"-- {label} tier: {tier['partition_cipher']} / "
+              f"{tier['partition_hash']}")
+        for section in ("write", "cold_read", "warm_read", "uncached_read"):
+            entry = tier[section]
+            print(
+                f"{section:>13}: {entry['ops_per_sec']:10.1f} ops/s  "
+                f"({entry['seconds']:.4f} s, {entry['round_trips']} round trips)"
+            )
+        scan = tier["scan"]
+        print(
+            f"{'scan':>13}: {scan['batched_round_trips']} batched vs "
+            f"{scan['single_round_trips']} single round trips "
+            f"({scan['round_trips_saved']} saved)"
+        )
+        print(
+            f"warm speedup vs uncached: "
+            f"{tier['warm_speedup_vs_uncached']:.1f}x"
+        )
+        print(
+            f"obs overhead on uncached reads: "
+            f"{tier['obs_overhead']['overhead_pct']:+.1f}%"
+        )
+
+    # slow tier first: the historical baseline, and the top-level JSON
     results = run(args.chunks, args.chunk_size, args.repeats)
+    results["floors"]["uncached_ops_default_tier"] = UNCACHED_OPS_FLOOR
+    _print_tier(results, "slow")
+
+    default_cipher = resolve_cipher(args.cipher)
+    if default_cipher is not None and default_cipher != PARTITION_CIPHER:
+        default_tier = run(
+            args.chunks, args.chunk_size, args.repeats,
+            cipher=default_cipher, hash_name=PARTITION_HASH,
+        )
+        results["default_tier"] = default_tier
+        _print_tier(default_tier, "default")
+    elif default_cipher is None:
+        print(f"default (AEAD) tier skipped: {aead.unavailable_reason()}")
+
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
-
-    for section in ("write", "cold_read", "warm_read", "uncached_read"):
-        entry = results[section]
-        print(
-            f"{section:>13}: {entry['ops_per_sec']:10.1f} ops/s  "
-            f"({entry['seconds']:.4f} s, {entry['round_trips']} round trips)"
-        )
-    scan = results["scan"]
-    print(
-        f"{'scan':>13}: {scan['batched_round_trips']} batched vs "
-        f"{scan['single_round_trips']} single round trips "
-        f"({scan['round_trips_saved']} saved)"
-    )
-    print(
-        f"warm speedup vs uncached: "
-        f"{results['warm_speedup_vs_uncached']:.1f}x"
-    )
-    print(
-        f"obs overhead on uncached reads: "
-        f"{results['obs_overhead']['overhead_pct']:+.1f}%"
-    )
     print(f"wrote {args.out}")
     if args.check:
         return check(results)

@@ -132,10 +132,14 @@ class Cleaner:
                 if cid != leader_id(SYSTEM_PARTITION):
                     pids = self._current_partitions(cid, cursor)
                     if pids:
-                        # validate before rewriting (no laundering)
+                        # validate before rewriting (no laundering); on an
+                        # AEAD partition this is the one-pass path — the
+                        # decrypt verifies the tag and the digest *is* the
+                        # stored tag
                         state = store._state(pids[0])
-                        body = codec.decrypt_body(header, body_ct, state.cipher)
-                        digest = codec.descriptor_hash(header, body, state.hash)
+                        body, digest = codec.validate_named(
+                            header, body_ct, state.cipher, state.hash
+                        )
                         expected = store._get_descriptor(
                             ChunkId(pids[0], cid.height, cid.rank)
                         )

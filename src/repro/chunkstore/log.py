@@ -32,6 +32,19 @@ The expected chunk hash stored in descriptors is computed over
 ``header_plaintext ‖ body_plaintext``, which binds a chunk's identity and
 size — not merely its contents — to the Merkle tree, defeating version-
 swapping between positions.
+
+**AEAD one-pass layout.**  When a cipher *authenticates*
+(``cipher.authenticates``, the AES-GCM / ChaCha20-Poly1305 tier), the
+separate hash pass above is redundant: the codec passes the plaintext
+header as *associated data* to the body encryption, so one AEAD pass
+already binds content, identity, and size; the value stored in the
+descriptor is then the body ciphertext's trailing auth tag instead of
+``H_p(header ‖ body)``.  Validation becomes a single ``decrypt`` (which
+verifies the tag against key, nonce, ciphertext, and header) plus a
+constant-time-irrelevant equality check of the stored tag against the
+descriptor — catching replays of *older valid versions* of the same
+chunk, because every encryption draws a fresh nonce and therefore a
+distinct tag.
 """
 
 from __future__ import annotations
@@ -129,34 +142,50 @@ class LogCodec:
         """Encode a named chunk version.
 
         Returns ``(version_bytes, expected_hash)`` where ``expected_hash``
-        is the descriptor hash: H_p(header_plain ‖ body_plain).
+        is the descriptor hash: H_p(header_plain ‖ body_plain) — or, for
+        an authenticating cipher, the body ciphertext's trailing AEAD tag
+        (the header rides along as associated data, so identity and size
+        are bound in the same pass and the hash pass is skipped).
         """
-        body_ct = body_cipher.encrypt(body)
         header = VersionHeader(
             VersionKind.NAMED,
             chunk_id.partition,
             chunk_id.height,
             chunk_id.rank,
             len(body),
-            len(body_ct),
+            body_cipher.ciphertext_size(len(body)),
         )
         header_plain = header.pack()
-        hasher = body_hash.new()
-        hasher.update(header_plain)
-        hasher.update(body)
-        body_hash.counters.digests += 1
-        body_hash.counters.bytes_hashed += len(header_plain) + len(body)
-        record_metric("bytes hashed", len(header_plain) + len(body))
+        if body_cipher.authenticates:
+            body_ct = body_cipher.encrypt(body, aad=header_plain)
+            digest = body_ct[-body_cipher.TAG_SIZE :]
+        else:
+            body_ct = body_cipher.encrypt(body)
+            hasher = body_hash.new()
+            hasher.update(header_plain)
+            hasher.update(body)
+            body_hash.counters.digests += 1
+            body_hash.counters.bytes_hashed += len(header_plain) + len(body)
+            record_metric("bytes hashed", len(header_plain) + len(body))
+            digest = hasher.digest()
         version = self.system_cipher.encrypt(header_plain) + body_ct
         obs.add("chunkstore.log.versions_built")
         obs.add("chunkstore.log.bytes_built", len(version))
-        return version, hasher.digest()
+        return version, digest
 
     def build_unnamed(self, kind: VersionKind, body: bytes) -> bytes:
-        """Encode an unnamed chunk version (system-encrypted body)."""
-        body_ct = self.system_cipher.encrypt(body)
-        header = VersionHeader(kind, 0, 0, 0, len(body), len(body_ct))
-        version = self.system_cipher.encrypt(header.pack()) + body_ct
+        """Encode an unnamed chunk version (system-encrypted body).  Under
+        an authenticating system cipher the header is bound as associated
+        data, so e.g. commit records arrive transport-authenticated."""
+        header = VersionHeader(
+            kind, 0, 0, 0, len(body), self.system_cipher.ciphertext_size(len(body))
+        )
+        header_plain = header.pack()
+        if self.system_cipher.authenticates:
+            body_ct = self.system_cipher.encrypt(body, aad=header_plain)
+        else:
+            body_ct = self.system_cipher.encrypt(body)
+        version = self.system_cipher.encrypt(header_plain) + body_ct
         obs.add("chunkstore.log.versions_built")
         obs.add("chunkstore.log.bytes_built", len(version))
         return version
@@ -190,9 +219,16 @@ class LogCodec:
 
     def decrypt_body(self, header: VersionHeader, body_ct: bytes, cipher: Cipher) -> bytes:
         """Decrypt a version body and check it against the header's
-        declared plaintext size (mismatch ⇒ tampering)."""
+        declared plaintext size (mismatch ⇒ tampering).  Authenticating
+        ciphers additionally verify the header as associated data, so a
+        body spliced under a different header fails here.  Accepts any
+        bytes-like ``body_ct`` (recovery and batched reads pass
+        ``memoryview`` slices of whole-span reads)."""
         try:
-            body = cipher.decrypt(body_ct)
+            if cipher.authenticates:
+                body = cipher.decrypt(body_ct, aad=header.pack())
+            else:
+                body = cipher.decrypt(body_ct)
         except ValueError as exc:
             raise TamperDetectedError(f"undecryptable chunk body: {exc}") from exc
         if len(body) != header.body_plain_size:
@@ -201,6 +237,30 @@ class LogCodec:
                 f"got {len(body)}"
             )
         return body
+
+    def validate_named(
+        self,
+        header: VersionHeader,
+        body_ct: bytes,
+        cipher: Cipher,
+        body_hash: HashFunction,
+    ) -> Tuple[bytes, bytes]:
+        """Decrypt a named body and produce the descriptor-comparable
+        digest in one place: ``(body_plain, digest)``.
+
+        For authenticating ciphers this is the **one-pass** path — the
+        AEAD decrypt has already verified content, identity (header as
+        AAD), and size, and the digest is simply the stored trailing tag;
+        for legacy ciphers it is decrypt + the separate hash pass.  The
+        caller compares ``digest`` against the descriptor's recorded
+        value either way (that comparison is what defeats replays of
+        older valid versions)."""
+        body = self.decrypt_body(header, body_ct, cipher)
+        if cipher.authenticates:
+            digest = bytes(body_ct[-cipher.TAG_SIZE :])
+        else:
+            digest = self.descriptor_hash(header, body, body_hash)
+        return body, digest
 
 
 # -- unnamed chunk payloads ---------------------------------------------------

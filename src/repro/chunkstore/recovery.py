@@ -88,17 +88,19 @@ class _Recovery:
 
     # -- plumbing -------------------------------------------------------------
 
-    def _segment_bytes(self, segment: int) -> Optional[bytes]:
+    def _segment_bytes(self, segment: int) -> Optional[memoryview]:
         """The segment's whole span, fetched in one round trip on first
-        touch.  Recovery never writes the log, so the buffer cannot go
-        stale; a fault disables buffering for that segment only."""
+        touch and held as a ``memoryview`` so per-version header/body
+        slices are views into the one buffer, not copies.  Recovery never
+        writes the log, so the buffer cannot go stale; a fault disables
+        buffering for that segment only."""
         if segment not in self._spans:
             start = self.segman.segment_start(segment)
             try:
                 (blob,) = self.store._io_read_many(
                     [(start, self.config.segment_size)]
                 )
-                self._spans[segment] = blob
+                self._spans[segment] = memoryview(blob)
             except IOFaultError:
                 self._spans[segment] = None
         return self._spans[segment]
@@ -181,17 +183,16 @@ class _Recovery:
         self.segman.load_table(payload.system.segments)
         store._leader_location = leader_loc
 
-        leader_bytes = header_ct + body_ct
+        leader_size = len(header_ct) + len(body_ct)
         validator = store.validator
         if self.direct:
             validator.reset_chain()
-            validator.note_version(leader_bytes)
         else:
             validator.begin_commit()
-            validator.note_version(leader_bytes)
+        validator.note_parts(header_ct, body_ct)
 
         leader_segment = self.segman.segment_of(leader_loc)
-        cursor = leader_loc + len(leader_bytes)
+        cursor = leader_loc + leader_size
         self._set_tail(cursor, leader_segment)
         if leader_segment not in self.segman.residual_segments:
             self.segman.residual_segments = [leader_segment]
@@ -221,12 +222,12 @@ class _Recovery:
                             "residual log unreadable before the recorded tail"
                         )
                     raise _TornTail()
-                version_bytes = header_ct + body_ct
+                version_len = len(header_ct) + len(body_ct)
                 kind = header.kind
 
                 if kind == VersionKind.NEXT_SEGMENT:
                     if self.direct:
-                        validator.note_version(version_bytes)
+                        validator.note_parts(header_ct, body_ct)
                     try:
                         record = NextSegmentRecord.decode(
                             self.codec.decrypt_body(
@@ -249,7 +250,7 @@ class _Recovery:
                         self.segman.free_segments.remove(nxt)
                     self.segman.residual_segments.append(nxt)
                     claims_since_good.append(nxt)
-                    self._advance(cursor, len(version_bytes))
+                    self._advance(cursor, version_len)
                     cursor = self.segman.segment_start(nxt)
                     self._set_tail(cursor, nxt)
                     continue
@@ -289,15 +290,15 @@ class _Recovery:
                         effect()
                     pending.clear()
                     expected_count += 1
-                    self._advance(cursor, len(version_bytes))
-                    cursor += len(version_bytes)
+                    self._advance(cursor, version_len)
+                    cursor += version_len
                     last_good = cursor
                     claims_since_good.clear()
                     validator.begin_commit()
                     continue
 
                 # NAMED / DEALLOCATE / CLEANER all count into the set hash
-                validator.note_version(version_bytes)
+                validator.note_parts(header_ct, body_ct)
                 try:
                     effect = self._effect_for(header, body_ct, cursor, cleaner_queue)
                 except TamperDetectedError:
@@ -309,8 +310,8 @@ class _Recovery:
                         effect()
                     else:
                         pending.append(effect)
-                self._advance(cursor, len(version_bytes))
-                cursor += len(version_bytes)
+                self._advance(cursor, version_len)
+                cursor += version_len
                 if self.direct:
                     last_good = cursor
         except _TornTail:
@@ -431,16 +432,16 @@ class _Recovery:
             and targets is None
         ):
             # a partition leader: decode now (system cipher), apply later
-            body = codec.decrypt_body(header, body_ct, codec.system_cipher)
+            body, digest = codec.validate_named(
+                header, body_ct, codec.system_cipher,
+                store.partitions[SYSTEM_PARTITION].hash,
+            )
             try:
                 payload = LeaderPayload.decode(body)
             except ValueError as exc:
                 raise TamperDetectedError(
                     f"undecodable partition leader at {location}: {exc}"
                 ) from exc
-            digest = codec.descriptor_hash(
-                header, body, store.partitions[SYSTEM_PARTITION].hash
-            )
             descriptor = ChunkDescriptor(
                 ChunkStatus.WRITTEN,
                 location,
@@ -456,8 +457,9 @@ class _Recovery:
 
         def chunk_effect() -> None:
             state = store._state(header.partition)
-            body = codec.decrypt_body(header, body_ct, state.cipher)
-            digest = codec.descriptor_hash(header, body, state.hash)
+            _body, digest = codec.validate_named(
+                header, body_ct, state.cipher, state.hash
+            )
             descriptor = ChunkDescriptor(
                 ChunkStatus.WRITTEN,
                 location,

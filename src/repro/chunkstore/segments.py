@@ -75,7 +75,9 @@ class LogWriteBuffer:
 
     def append(self, location: int, data: bytes) -> None:
         """Buffer ``data`` destined for ``location``; auto-seals first if
-        the write is not adjacent to the pending span."""
+        the write is not adjacent to the pending span.  ``data`` may be
+        any bytes-like span (``memoryview`` slices buffer without a
+        copy); the single join happens at :meth:`seal`."""
         if self._chunks and location != self._start + self._length:
             self.seal()
         if not self._chunks:
@@ -85,6 +87,15 @@ class LogWriteBuffer:
         self.appends += 1
         self.bytes_appended += len(data)
 
+    def append_parts(self, location: int, parts) -> None:
+        """Writev-style :meth:`append`: buffer several spans destined for
+        consecutive locations starting at ``location`` without joining
+        them first (they coalesce into the seal's single join)."""
+        offset = location
+        for part in parts:
+            self.append(offset, part)
+            offset += len(part)
+
     def seal(self) -> None:
         """Issue the pending span as one untrusted-store write.
 
@@ -93,7 +104,11 @@ class LogWriteBuffer:
         bytes are re-issued (not silently dropped) on the next seal."""
         if not self._chunks:
             return
-        data = self._chunks[0] if len(self._chunks) == 1 else b"".join(self._chunks)
+        data = (
+            bytes(self._chunks[0])
+            if len(self._chunks) == 1
+            else b"".join(self._chunks)
+        )
         coalesced = len(self._chunks) - 1
 
         def issue() -> None:

@@ -168,6 +168,7 @@ class ChunkStore:
                 self.mac,
                 config.delta_ut,
                 config.delta_tu,
+                mac_optional=system_cipher.authenticates,
             )
         self._lock = threading.RLock()
         self._leader_location = 0
@@ -601,6 +602,7 @@ class ChunkStore:
         security verdict never changes — but are recorded so scrub can
         target repair."""
         key = str(cid)
+        raw = memoryview(raw)  # header/body slices below stay zero-copy
         try:
             header = self.codec.parse_header(
                 raw[: self.codec.header_cipher_size]
@@ -621,11 +623,12 @@ class ChunkStore:
                     f"does not match"
                 )
             with profiled("encryption"):
-                body = self.codec.decrypt_body(
-                    header, raw[self.codec.header_cipher_size :], state.cipher
+                body, computed = self.codec.validate_named(
+                    header,
+                    raw[self.codec.header_cipher_size :],
+                    state.cipher,
+                    state.hash,
                 )
-            with profiled("hashing"):
-                computed = self.codec.descriptor_hash(header, body, state.hash)
             if computed != descriptor.body_hash:
                 raise TamperDetectedError(f"chunk {cid}: hash mismatch")
         except TamperDetectedError:
@@ -1872,7 +1875,22 @@ class ChunkStore:
             descriptor = self._get_descriptor(cid)
         except (TamperDetectedError, QuarantineError, IOFaultError):
             descriptor = None
-        if descriptor is not None and descriptor.is_written():
+        if (
+            descriptor is not None
+            and descriptor.is_written()
+            and state.cipher.authenticates
+        ):
+            # An AEAD descriptor stores the auth tag, which depends on the
+            # encryption nonce — unrecomputable from plaintext, so the
+            # stale-bytes pre-check below cannot run.  The backup stream
+            # is itself MAC-validated end-to-end, which is the authority
+            # this path falls back on.
+            logger.info(
+                "scrub: %s is on an AEAD partition; trusting the "
+                "MAC-validated backup bytes without a descriptor pre-check",
+                cid,
+            )
+        elif descriptor is not None and descriptor.is_written():
             header = VersionHeader(
                 VersionKind.NAMED,
                 cid.partition,

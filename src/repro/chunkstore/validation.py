@@ -59,9 +59,16 @@ class DirectValidation:
         self.chain = self._hash.hash(b"")
 
     def note_version(self, version_bytes: bytes) -> None:
+        self.note_parts(version_bytes)
+
+    def note_parts(self, *parts: bytes) -> None:
+        """Chain one version given as separate spans (header ct, body ct)
+        — the zero-copy recovery path feeds ``memoryview`` slices of a
+        whole-segment read without joining them first."""
         hasher = self._hash.new()
         hasher.update(self.chain)
-        hasher.update(version_bytes)
+        for part in parts:
+            hasher.update(part)
         self.chain = hasher.digest()
 
     def commit_point(self, tail_location: int, leader_location: int) -> None:
@@ -99,12 +106,20 @@ class CounterValidation:
         mac: Mac,
         delta_ut: int,
         delta_tu: int,
+        mac_optional: bool = False,
     ) -> None:
         self._counter = counter
         self._hash = system_hash
         self._mac = mac
         self.delta_ut = delta_ut
         self.delta_tu = delta_tu
+        #: True when the system cipher authenticates (AEAD): commit
+        #: chunks then arrive transport-authenticated — header bound as
+        #: associated data, body unforgeable without the system key — so
+        #: the explicit HMAC pass is skipped (empty tag).  MAC'd records
+        #: written before a config change still verify (see
+        #: :meth:`verify_commit_record`).
+        self.mac_optional = mac_optional
         #: count the next commit chunk will carry
         self.next_count = 1
         #: count of the last commit chunk known durable in the untrusted store
@@ -119,6 +134,11 @@ class CounterValidation:
     def note_version(self, version_bytes: bytes) -> None:
         self._set_hasher.update(version_bytes)
 
+    def note_parts(self, *parts: bytes) -> None:
+        """Span-wise :meth:`note_version` (zero-copy recovery path)."""
+        for part in parts:
+            self._set_hasher.update(part)
+
     def current_set_hash(self) -> bytes:
         """Digest of the versions noted since :meth:`begin_commit`."""
         return self._set_hasher.digest()
@@ -126,13 +146,22 @@ class CounterValidation:
     def build_commit_record(self) -> CommitRecord:
         set_hash = self._set_hasher.digest()
         record = CommitRecord(self.next_count, set_hash, b"")
-        record.mac_tag = self._mac.sign(record.signed_message())
+        if not self.mac_optional:
+            record.mac_tag = self._mac.sign(record.signed_message())
         return record
 
     def verify_commit_record(self, record: CommitRecord, set_hash: bytes) -> bool:
-        """Recovery: check MAC and set hash of one commit chunk."""
+        """Recovery: check MAC and set hash of one commit chunk.
+
+        An empty MAC tag is accepted only under ``mac_optional`` — i.e.
+        when the commit chunk could not have been forged in the first
+        place because decrypting it already verified an AEAD tag over
+        header and body.  A present tag is always verified, so logs
+        written with MACs stay valid after a system-cipher upgrade."""
         if record.set_hash != set_hash:
             return False
+        if not record.mac_tag:
+            return self.mac_optional
         return self._mac.verify(record.signed_message(), record.mac_tag)
 
     def committed(self) -> None:

@@ -51,6 +51,13 @@ class Cipher(ABC):
     #: registry name, stored in partition leaders
     name: str = "abstract"
 
+    #: True when ``decrypt`` itself authenticates the message (AEAD):
+    #: the log codec then binds the header as associated data and the
+    #: chunk validation path skips its separate hash pass — one crypto
+    #: pass per chunk instead of two.  Authenticating ciphers must
+    #: accept an ``aad=`` keyword on ``encrypt``/``decrypt``.
+    authenticates: bool = False
+
     def __init__(self) -> None:
         #: payload-byte and call tallies (see ``ChunkStore.stats()``)
         self.counters = CipherCounters()

@@ -83,6 +83,11 @@ class CbcCipher(Cipher):
         bs = self._bc.block_size
         if len(ciphertext) < 2 * bs or len(ciphertext) % bs:
             raise ValueError("ciphertext length invalid for CBC")
+        if not isinstance(ciphertext, bytes):
+            # bytes-like input (memoryview spans from whole-segment
+            # reads): slices below must be real bytes for the block
+            # primitives and the bulk backends
+            ciphertext = bytes(ciphertext)
         counters = self.counters
         counters.decrypt_calls += 1
         if self._bulk_dec is not None:
@@ -164,7 +169,10 @@ class CtrStreamCipher(Cipher):
     def decrypt(self, ciphertext: bytes) -> bytes:
         if len(ciphertext) < self._NONCE_SIZE:
             raise ValueError("ciphertext shorter than nonce")
-        nonce = ciphertext[: self._NONCE_SIZE]
+        # accepts bytes-like input: the nonce feeds key‖nonce hashing and
+        # must be bytes; the body only meets len() and int.from_bytes,
+        # both of which take memoryview spans directly
+        nonce = bytes(ciphertext[: self._NONCE_SIZE])
         body = ciphertext[self._NONCE_SIZE :]
         stream = self._keystream(nonce, len(body))
         self.counters.decrypt_calls += 1

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from repro.crypto import aead
 from repro.crypto.cipher import Cipher, NullCipher
 from repro.crypto.des import Des, TripleDes
 from repro.crypto.hashing import HashFunction, NullHash, Sha1Hash, Sha256Hash
@@ -21,7 +22,16 @@ _CIPHERS: Dict[str, Callable[[bytes], Cipher]] = {
     "3des-cbc": lambda key: CbcCipher(TripleDes(key), "3des-cbc"),
     "xtea-cbc": lambda key: CbcCipher(Xtea(key), "xtea-cbc"),
     "ctr-sha256": CtrStreamCipher,
+    # AEAD tier: registered unconditionally so names, key sizes, and
+    # leader payloads stay stable; the factories raise a typed
+    # CryptoUnavailableError when the backend is absent (never a
+    # silent downgrade to a non-authenticating suite).
+    "aes-256-gcm": aead.make_aes_256_gcm,
+    "chacha20-poly1305": aead.make_chacha20_poly1305,
 }
+
+#: names whose factory needs the OpenSSL AEAD backend
+AEAD_CIPHER_NAMES = ("aes-256-gcm", "chacha20-poly1305")
 
 _HASHES: Dict[str, Callable[[], HashFunction]] = {
     "null": NullHash,
@@ -39,7 +49,18 @@ KEY_SIZES: Dict[str, int] = {
     "3des-cbc": 24,
     "xtea-cbc": 16,
     "ctr-sha256": 16,
+    "aes-256-gcm": aead.KEY_SIZE,
+    "chacha20-poly1305": aead.KEY_SIZE,
 }
+
+
+def cipher_available(name: str) -> bool:
+    """Whether ``make_cipher(name, ...)`` can succeed in this build."""
+    if name not in _CIPHERS:
+        raise ValueError(f"unknown cipher {name!r}; known: {CIPHER_NAMES}")
+    if name in AEAD_CIPHER_NAMES:
+        return aead.available()
+    return True
 
 
 def make_cipher(name: str, key: bytes) -> Cipher:

@@ -22,6 +22,19 @@ class TamperDetectedError(TDBError):
     """
 
 
+class CryptoUnavailableError(TDBError):
+    """A registered cipher's backend is not present in this build.
+
+    Raised when a partition or store names an AEAD suite
+    (``aes-256-gcm`` / ``chacha20-poly1305``) but the ``cryptography``
+    AEAD backend is missing or disabled via ``REPRO_NO_CRYPTO_ACCEL``.
+    The refusal is deliberate and loud: the legacy suites have bit-exact
+    pure-Python fallbacks, the AEAD tier does not, and silently
+    downgrading an *authenticating* cipher to a non-authenticating one
+    would weaken the validation the caller asked for.
+    """
+
+
 class SecrecyError(TDBError):
     """An operation would violate the secrecy contract (e.g. reading the
     secret store from an untrusted context in the simulated platform)."""

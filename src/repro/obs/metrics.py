@@ -44,8 +44,13 @@ class LatencyHistogram:
 
     ``record(seconds)`` buckets by ``int(µs).bit_length()`` — sub-µs
     samples land in bucket 0.  Percentiles return the bucket's upper
-    bound in seconds (an overestimate by at most 2×), which is the right
-    bias for a floor check: reported p99 ≥ true p99.
+    bound in seconds (an overestimate by at most 2×), clamped to the
+    observed maximum: still an upper bound on the true quantile (any
+    sample ≤ max, and any bucket at or below the max's own bucket has
+    its upper bound ≥ the samples it holds), but never the absurd
+    "p50 > max" that a raw bucket bound produces when every sample sits
+    just past a power of two.  The bias stays right for a floor check:
+    reported p99 ≥ true p99.
     """
 
     __slots__ = ("name", "buckets", "count", "total", "max_seconds")
@@ -70,7 +75,8 @@ class LatencyHistogram:
             self.max_seconds = seconds
 
     def percentile(self, p: float) -> float:
-        """Upper bound (seconds) of the bucket holding the p-quantile."""
+        """Upper bound (seconds) of the bucket holding the p-quantile,
+        clamped to the observed max (see the class docstring)."""
         if self.count == 0:
             return 0.0
         rank = max(1, int(p * self.count + 0.999999))
@@ -78,7 +84,7 @@ class LatencyHistogram:
         for bucket, n in enumerate(self.buckets):
             seen += n
             if seen >= rank:
-                return (1 << bucket) / 1e6
+                return min((1 << bucket) / 1e6, self.max_seconds)
         return self.max_seconds  # pragma: no cover - unreachable
 
     @property

@@ -4,7 +4,7 @@ Usage (see also the Makefile targets)::
 
     python -m repro.testing adversary   [--mode counter] [--trials 64]
                                         [--seed N] [--class NAME]
-                                        [--no-payload-cache]
+                                        [--no-payload-cache] [--aead]
     python -m repro.testing differential [--mode counter] [--seeds 20]
                                         [--seed N] [--ops 50]
     python -m repro.testing faults      [--mode counter] [--trials 150]
@@ -26,13 +26,37 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.testing.adversary import Adversary
+from repro.testing.adversary import (
+    AEAD_PARTITION_SPECS,
+    Adversary,
+    build_scenario,
+)
 from repro.testing.differential import DifferentialRunner
 from repro.testing.faultsweep import FaultSweep
 
 
 def _run_adversary(args: argparse.Namespace) -> int:
-    adversary = Adversary(mode=args.mode, payload_cache=not args.no_payload_cache)
+    scenario = None
+    if args.aead:
+        from repro.crypto import aead
+
+        if not aead.available():
+            print(
+                f"--aead needs the AEAD backend, which is unavailable "
+                f"({aead.unavailable_reason()})",
+                file=sys.stderr,
+            )
+            return 2
+        scenario = build_scenario(
+            args.mode,
+            partition_specs=AEAD_PARTITION_SPECS,
+            system_cipher="aes-256-gcm",
+        )
+    adversary = Adversary(
+        mode=args.mode,
+        payload_cache=not args.no_payload_cache,
+        scenario=scenario,
+    )
     if args.seed is not None:
         report = adversary.run_trial(args.seed, attack=args.attack_class)
         print(
@@ -128,6 +152,9 @@ def main(argv=None) -> int:
                      help="pin the attack class when replaying a seed")
     adv.add_argument("--no-payload-cache", action="store_true",
                      help="judge with the validated-payload cache disabled")
+    adv.add_argument("--aead", action="store_true",
+                     help="sweep the AEAD scenario (authenticating "
+                          "partition + system ciphers, one-pass path)")
 
     diff = sub.add_parser("differential", help="model-based differential run")
     diff.add_argument("--mode", default="counter",

@@ -139,6 +139,8 @@ class Scenario:
     #: oldest first (fodder for replay attacks)
     stale_images: List[bytes]
     pids: List[int]
+    #: the system cipher the scenario was built (and must be reopened) with
+    system_cipher: str = "ctr-sha256"
 
 
 #: (cipher, hash) per scenario partition — spanning the null cipher, the
@@ -149,15 +151,31 @@ PARTITION_SPECS = (
     ("xtea-cbc", "sha256"),
 )
 
+#: the AEAD sweep's partitions: both authenticating suites (where the
+#: descriptor stores the auth tag and validation is the one-pass AEAD
+#: decrypt) plus one legacy partition so cross-partition splices cross
+#: the AEAD/legacy cipher-domain boundary in both directions
+AEAD_PARTITION_SPECS = (
+    ("aes-256-gcm", "sha1"),
+    ("chacha20-poly1305", "sha256"),
+    ("xtea-cbc", "sha256"),
+)
 
-def scenario_config(mode: str, payload_cache: bool = True) -> StoreConfig:
+
+def scenario_config(
+    mode: str,
+    payload_cache: bool = True,
+    system_cipher: str = "ctr-sha256",
+) -> StoreConfig:
     """The sweep's store configuration: the strictest windows (Δut=1,
     Δtu=0), so *any* rollback of a committed state must be detected.
     ``payload_cache=False`` judges with the validated-payload cache off
-    (the runtime-only knob; the attack surface is identical either way)."""
+    (the runtime-only knob; the attack surface is identical either way).
+    An authenticating ``system_cipher`` additionally exercises the
+    MAC-skip commit-record path in counter mode."""
     return StoreConfig(
         segment_size=8 * 1024,
-        system_cipher="ctr-sha256",
+        system_cipher=system_cipher,
         system_hash="sha1",
         validation_mode=mode,
         delta_ut=1,
@@ -166,7 +184,11 @@ def scenario_config(mode: str, payload_cache: bool = True) -> StoreConfig:
     )
 
 
-def build_scenario(mode: str = "counter") -> Scenario:
+def build_scenario(
+    mode: str = "counter",
+    partition_specs: Sequence[Tuple[str, str]] = PARTITION_SPECS,
+    system_cipher: str = "ctr-sha256",
+) -> Scenario:
     """Populate a multi-partition store and freeze it for trials.
 
     The history deliberately leaves every kind of log content in place:
@@ -175,9 +197,11 @@ def build_scenario(mode: str = "counter") -> Scenario:
     final state.
     """
     platform = TrustedPlatform.create_in_memory(untrusted_size=512 * 1024)
-    store = ChunkStore.format(platform, scenario_config(mode))
+    store = ChunkStore.format(
+        platform, scenario_config(mode, system_cipher=system_cipher)
+    )
     pids: List[int] = []
-    for cipher_name, hash_name in PARTITION_SPECS:
+    for cipher_name, hash_name in partition_specs:
         pid = store.allocate_partition()
         store.commit(
             [ops.WritePartition(pid, cipher_name=cipher_name, hash_name=hash_name)]
@@ -224,6 +248,7 @@ def build_scenario(mode: str = "counter") -> Scenario:
         extents=extents,
         stale_images=stale_images,
         pids=pids,
+        system_cipher=system_cipher,
     )
 
 
@@ -292,7 +317,11 @@ class Adversary:
         self.scenario = scenario or build_scenario(mode)
 
     def _open_config(self) -> StoreConfig:
-        return scenario_config(self.mode, payload_cache=self.payload_cache)
+        return scenario_config(
+            self.mode,
+            payload_cache=self.payload_cache,
+            system_cipher=self.scenario.system_cipher,
+        )
 
     # -- public API ------------------------------------------------------------
 

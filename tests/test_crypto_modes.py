@@ -11,7 +11,12 @@ from repro.crypto.modes import (
     pkcs7_pad,
     pkcs7_unpad,
 )
-from repro.crypto.registry import CIPHER_NAMES, KEY_SIZES, make_cipher
+from repro.crypto.registry import (
+    CIPHER_NAMES,
+    KEY_SIZES,
+    cipher_available,
+    make_cipher,
+)
 from repro.crypto.xtea import Xtea
 
 
@@ -143,6 +148,8 @@ class TestNullCipher:
 class TestRegistry:
     @pytest.mark.parametrize("name", CIPHER_NAMES)
     def test_every_registered_cipher_roundtrips(self, name):
+        if not cipher_available(name):
+            pytest.skip(f"{name} backend unavailable in this build")
         key = bytes(range(KEY_SIZES[name])) if KEY_SIZES[name] else b""
         cipher = make_cipher(name, key)
         message = b"The quick brown fox jumps over the lazy dog"

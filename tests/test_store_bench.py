@@ -1,6 +1,15 @@
 """Smoke test for the read-path benchmark driver (tiny in-process run)."""
 
-from repro.bench.store_bench import WARM_SPEEDUP_FLOOR, check, run
+import pytest
+
+from repro.bench.store_bench import (
+    UNCACHED_OPS_FLOOR,
+    WARM_SPEEDUP_FLOOR,
+    check,
+    resolve_cipher,
+    run,
+)
+from repro.crypto import aead
 
 
 def test_store_bench_tiny_run_meets_floors():
@@ -24,3 +33,26 @@ def test_store_bench_tiny_run_meets_floors():
         < results["scan"]["single_round_trips"]
     )
     assert check(results) == 0
+
+
+@pytest.mark.skipif(not aead.available(), reason="AEAD backend unavailable")
+def test_store_bench_aead_default_tier_meets_floor():
+    """The one-pass AEAD tier: uncached reads clear the 3×-baseline ops
+    floor, and the composite check enforces it."""
+    slow = run(chunks=8, chunk_size=1024, repeats=2)
+    tier = run(chunks=8, chunk_size=1024, repeats=2, cipher="aes-256-gcm")
+    assert tier["partition_cipher"] == "aes-256-gcm"
+    assert tier["uncached_read"]["ops_per_sec"] >= UNCACHED_OPS_FLOOR
+    # one-pass beats the slow two-pass tier outright on every cold path
+    assert (
+        tier["uncached_read"]["ops_per_sec"]
+        > slow["uncached_read"]["ops_per_sec"]
+    )
+    slow["default_tier"] = tier
+    assert check(slow) == 0
+
+
+def test_resolve_cipher():
+    assert resolve_cipher("xtea-cbc") == "xtea-cbc"
+    expected = "aes-256-gcm" if aead.available() else None
+    assert resolve_cipher("auto") == expected
