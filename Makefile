@@ -15,7 +15,7 @@ SEEDS ?= 20
 OPS ?= 50
 FAULT_TRIALS ?= 150
 
-.PHONY: install test test-fast bench bench-crypto bench-store obs-smoke report examples lint all \
+.PHONY: install test test-fast bench bench-crypto bench-store bench-server obs-smoke report examples lint all \
 	adversary adversary-sweep differential fault-sweep
 
 install:
@@ -35,6 +35,12 @@ bench-crypto:
 
 bench-store:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.store_bench --out BENCH_store.json
+
+# Serving-layer benchmark: group-commit batching + MVCC snapshot reads
+# vs the single-session baseline (floors: batch > 1, speedup >= 2x,
+# snapshot reads complete inside an in-flight commit's flush window).
+bench-server:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.server_bench --out BENCH_server.json
 
 # Observability smoke: run a short traced workload and assert the shape
 # of the recorded histograms, spans, and events (docs/OBSERVABILITY.md).

@@ -1,0 +1,425 @@
+"""Serving-layer benchmark: ``python -m repro.bench.server_bench``.
+
+Measures what the concurrent serving layer buys over the single-session
+commit path, on a device whose ``flush`` has realistic latency (the cost
+group commit exists to amortize):
+
+* ``baseline`` — one session committing ``writers * txs`` transactions
+  sequentially through the plain ``ObjectStore`` path: one log flush per
+  transaction, the pre-server behavior;
+* ``concurrent`` — the same total transaction count issued from
+  ``writers`` threads through :class:`~repro.server.server.TDBServer`,
+  so concurrently-arriving commits share one flush via the
+  :class:`~repro.server.group_commit.GroupCommitter`.  ``readers``
+  threads serve themselves MVCC snapshots the whole time and count reads
+  that complete *inside* an in-flight commit's flush window — the proof
+  that snapshot reads never queue behind the commit path.
+
+Per-transaction commit latency feeds the obs histograms
+(``server.tx_commit`` / ``server.tx_commit_baseline``; the committer's
+own ``server.group_commit`` histogram times each batch flush), and the
+JSON reports their p50/p99.
+
+Results go to ``BENCH_server.json``; ``--check`` exits non-zero unless
+the acceptance floors hold (mean commit-batch size > 1, concurrent
+throughput ≥ 2× the single-session baseline, and at least one snapshot
+read completed during an in-flight commit), which CI uses as a
+concurrency-regression smoke test.  ``--tiny`` shrinks the run for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.chunkstore import ChunkStore, StoreConfig
+from repro.objectstore.pickling import ObjectRef
+from repro.objectstore.store import ObjectStore
+from repro.platform.archival import MemoryArchivalStore
+from repro.platform.crash import CrashInjector
+from repro.platform.secret_store import SecretStore
+from repro.platform.tamper_resistant import (
+    TamperResistantCounter,
+    TamperResistantStore,
+)
+from repro.platform.trusted_platform import TrustedPlatform
+from repro.platform.untrusted import MemoryUntrustedStore
+from repro.server import TDBServer
+
+#: acceptance floor: transactions per durable batch, concurrent phase
+#: (strictly above 1.0 — otherwise group commit amortized nothing)
+MEAN_BATCH_FLOOR = 1.0
+
+#: acceptance floor: concurrent throughput over the sequential baseline
+SPEEDUP_FLOOR = 2.0
+
+#: acceptance floor: snapshot reads completed entirely inside a commit's
+#: flush window (proof that readers do not block behind the commit path)
+READS_DURING_COMMIT_FLOOR = 1
+
+#: partition cipher/hash: the cheap stream suite, so device flush latency
+#: (what group commit amortizes) dominates the numbers, not crypto
+PARTITION_CIPHER = "ctr-sha256"
+PARTITION_HASH = "sha1"
+
+
+class SlowFlushStore(MemoryUntrustedStore):
+    """In-memory untrusted store whose ``flush`` takes real time.
+
+    The delay runs *before* ``super().flush()`` — i.e. outside the I/O
+    mutex, per the :class:`~repro.platform.untrusted.UntrustedStore`
+    contract — modeling a disk whose cache flush stalls the flusher but
+    not concurrent readers.  ``flushing`` is readable by other threads
+    so the bench can tell which snapshot reads overlapped a flush.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        crash_injector: Optional[CrashInjector] = None,
+        fault_injector=None,
+        flush_delay: float = 0.002,
+    ) -> None:
+        super().__init__(size, crash_injector, fault_injector)
+        self.flush_delay = flush_delay
+        self.flushing = False
+        self.flushes_timed = 0
+        self.reads_during_flush = 0
+        self._tally_mutex = threading.Lock()
+
+    def read(self, location: int, size: int) -> bytes:
+        if self.flushing:
+            with self._tally_mutex:
+                self.reads_during_flush += 1
+        return super().read(location, size)
+
+    def flush(self) -> None:
+        self.flushing = True
+        try:
+            time.sleep(self.flush_delay)
+        finally:
+            self.flushing = False
+        with self._tally_mutex:
+            self.flushes_timed += 1
+        super().flush()
+
+
+def _platform(flush_delay: float) -> TrustedPlatform:
+    injector = CrashInjector()
+    return TrustedPlatform(
+        secret_store=SecretStore(os.urandom(SecretStore.SIZE)),
+        tamper_resistant=TamperResistantStore(),
+        counter=TamperResistantCounter(),
+        untrusted=SlowFlushStore(
+            16 * 1024 * 1024, injector, flush_delay=flush_delay
+        ),
+        archival=MemoryArchivalStore(),
+        injector=injector,
+    )
+
+
+def _config() -> StoreConfig:
+    return StoreConfig(
+        segment_size=64 * 1024,
+        system_cipher="ctr-sha256",
+        system_hash="sha1",
+        validation_mode="counter",
+        delta_ut=5,
+    )
+
+
+def _setup(
+    flush_delay: float, writers: int
+) -> Tuple[TrustedPlatform, ObjectStore, int, List[ObjectRef]]:
+    """A fresh store with one counter object per writer, all zero."""
+    platform = _platform(flush_delay)
+    chunks = ChunkStore.format(platform, _config())
+    objects = ObjectStore(chunks)
+    pid = objects.create_partition(
+        cipher_name=PARTITION_CIPHER, hash_name=PARTITION_HASH
+    )
+    refs = [ObjectRef(pid, rank) for rank in range(writers)]
+    with objects.transaction() as tx:
+        for ref in refs:
+            tx.create_at(ref, 0)
+    return platform, objects, pid, refs
+
+
+def _run_baseline(
+    objects: ObjectStore, refs: List[ObjectRef], txs_per_writer: int
+) -> Dict[str, object]:
+    """One session, one commit (and one flush) per transaction."""
+    total = len(refs) * txs_per_writer
+    start = time.perf_counter()
+    for _ in range(txs_per_writer):
+        for ref in refs:
+            tx_start = time.perf_counter()
+            with objects.transaction() as tx:
+                tx.update(ref, tx.get_for_update(ref) + 1)
+            obs.observe("server.tx_commit_baseline", time.perf_counter() - tx_start)
+    elapsed = time.perf_counter() - start
+    return {
+        "txs": total,
+        "seconds": round(elapsed, 4),
+        "txs_per_sec": round(total / elapsed, 1),
+    }
+
+
+def _run_concurrent(
+    objects: ObjectStore,
+    pid: int,
+    refs: List[ObjectRef],
+    txs_per_writer: int,
+    readers: int,
+    max_batch: int,
+) -> Dict[str, object]:
+    """N writer sessions + M snapshot readers through the server."""
+    device: SlowFlushStore = objects.chunks.platform.untrusted
+    errors: List[BaseException] = []
+    stop_readers = threading.Event()
+    reads_during_commit = [0] * readers
+    snapshot_reads = [0] * readers
+
+    with TDBServer(objects, max_batch=max_batch) as server:
+
+        def write_loop(ref: ObjectRef) -> None:
+            try:
+                with server.session() as session:
+                    for _ in range(txs_per_writer):
+                        tx_start = time.perf_counter()
+                        with session.transaction() as tx:
+                            tx.update(ref, tx.get_for_update(ref) + 1)
+                        obs.observe(
+                            "server.tx_commit", time.perf_counter() - tx_start
+                        )
+            except BaseException as exc:  # surfaced after the join
+                errors.append(exc)
+
+        def read_loop(slot: int) -> None:
+            try:
+                with server.session() as session:
+                    while not stop_readers.is_set():
+                        with session.snapshot(pid) as snapshot:
+                            for ref in refs:
+                                in_flush = device.flushing
+                                value = snapshot.get(ref)
+                                assert 0 <= value <= txs_per_writer, value
+                                snapshot_reads[slot] += 1
+                                if in_flush and device.flushing:
+                                    # started and finished inside one
+                                    # commit's flush window: the reader
+                                    # never queued behind the commit path
+                                    reads_during_commit[slot] += 1
+                        # pace like a real client; an unthrottled spin
+                        # would measure GIL contention, not the server
+                        time.sleep(0.0005)
+            except BaseException as exc:
+                errors.append(exc)
+
+        writer_threads = [
+            threading.Thread(target=write_loop, args=(ref,)) for ref in refs
+        ]
+        reader_threads = [
+            threading.Thread(target=read_loop, args=(slot,))
+            for slot in range(readers)
+        ]
+        start = time.perf_counter()
+        for thread in writer_threads + reader_threads:
+            thread.start()
+        for thread in writer_threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        stop_readers.set()
+        for thread in reader_threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+        # every counter must show every one of its writer's commits
+        with server.session() as session, session.snapshot(pid) as snapshot:
+            for ref in refs:
+                assert snapshot.get(ref) == txs_per_writer, (
+                    f"{ref} lost updates: {snapshot.get(ref)}"
+                )
+        stats = server.stats()
+
+    total = len(refs) * txs_per_writer
+    return {
+        "txs": total,
+        "seconds": round(elapsed, 4),
+        "txs_per_sec": round(total / elapsed, 1),
+        "snapshot_reads": sum(snapshot_reads),
+        "reads_during_commit": sum(reads_during_commit),
+        "device_reads_during_flush": device.reads_during_flush,
+        "group_commit": stats["group_commit"],
+        "snapshots": stats["snapshots"],
+    }
+
+
+def run(
+    writers: int,
+    txs_per_writer: int,
+    readers: int,
+    flush_delay_ms: float,
+    max_batch: int,
+) -> Dict[str, object]:
+    obs.reset()  # the latency section below covers this run only
+    flush_delay = flush_delay_ms / 1e3
+    results: Dict[str, object] = {
+        "writers": writers,
+        "txs_per_writer": txs_per_writer,
+        "readers": readers,
+        "flush_delay_ms": flush_delay_ms,
+        "max_batch": max_batch,
+        "partition_cipher": PARTITION_CIPHER,
+        "partition_hash": PARTITION_HASH,
+    }
+
+    # -- single-session baseline: one flush per transaction ------------------
+    _, objects, _, refs = _setup(flush_delay, writers)
+    results["baseline"] = _run_baseline(objects, refs, txs_per_writer)
+    objects.chunks.close()
+
+    # -- concurrent sessions through the server ------------------------------
+    _, objects, pid, refs = _setup(flush_delay, writers)
+    results["concurrent"] = _run_concurrent(
+        objects, pid, refs, txs_per_writer, readers, max_batch
+    )
+    objects.chunks.close()
+
+    baseline_tps = results["baseline"]["txs_per_sec"]
+    concurrent_tps = results["concurrent"]["txs_per_sec"]
+    results["speedup_vs_baseline"] = round(concurrent_tps / baseline_tps, 2)
+    results["floors"] = {
+        "mean_batch_size": MEAN_BATCH_FLOOR,
+        "speedup": SPEEDUP_FLOOR,
+        "reads_during_commit": READS_DURING_COMMIT_FLOOR,
+    }
+
+    # commit/batch latency percentiles from the obs histograms this run fed
+    results["latency"] = {
+        name: {
+            "count": snap["count"],
+            "p50_ms": round(snap["p50_s"] * 1e3, 4),
+            "p95_ms": round(snap["p95_s"] * 1e3, 4),
+            "p99_ms": round(snap["p99_s"] * 1e3, 4),
+            "max_ms": round(snap["max_s"] * 1e3, 4),
+        }
+        for name, snap in sorted(obs.metrics.snapshot()["histograms"].items())
+        if name.startswith("server.")
+    }
+    return results
+
+
+def check(results: Dict[str, object]) -> int:
+    """Enforce the acceptance floors; returns a process exit status."""
+    failed = False
+    mean_batch = results["concurrent"]["group_commit"]["mean_batch_size"]
+    if mean_batch <= MEAN_BATCH_FLOOR:
+        print(
+            f"FAIL: mean commit-batch size is {mean_batch:.2f}, must exceed "
+            f"{MEAN_BATCH_FLOOR:.1f} (group commit amortized nothing)",
+            file=sys.stderr,
+        )
+        failed = True
+    speedup = results["speedup_vs_baseline"]
+    if speedup < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: concurrent throughput is {speedup:.2f}x the "
+            f"single-session baseline, floor is {SPEEDUP_FLOOR:.1f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    overlapped = results["concurrent"]["reads_during_commit"]
+    if overlapped < READS_DURING_COMMIT_FLOOR:
+        print(
+            f"FAIL: {overlapped} snapshot reads completed during an "
+            f"in-flight commit, floor is {READS_DURING_COMMIT_FLOOR}",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print("acceptance floors met")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_server.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--writers", type=int, default=8, help="concurrent writer sessions"
+    )
+    parser.add_argument(
+        "--txs", type=int, default=12, help="transactions per writer"
+    )
+    parser.add_argument(
+        "--readers", type=int, default=4, help="concurrent snapshot readers"
+    )
+    parser.add_argument(
+        "--flush-delay-ms", type=float, default=2.0,
+        help="simulated device flush latency (what group commit amortizes)"
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64,
+        help="group-commit batch cap (transactions per store commit)"
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke sizing (6 writers x 6 txs, 2 readers)"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless the acceptance floors are met"
+    )
+    args = parser.parse_args(argv)
+    if args.tiny:
+        args.writers, args.txs, args.readers = 6, 6, 2
+
+    results = run(
+        args.writers, args.txs, args.readers, args.flush_delay_ms,
+        args.max_batch,
+    )
+
+    baseline = results["baseline"]
+    concurrent = results["concurrent"]
+    batching = concurrent["group_commit"]
+    print(
+        f"{'baseline':>11}: {baseline['txs_per_sec']:8.1f} txs/s  "
+        f"({baseline['txs']} txs, {baseline['seconds']:.4f} s, 1 session)"
+    )
+    print(
+        f"{'concurrent':>11}: {concurrent['txs_per_sec']:8.1f} txs/s  "
+        f"({concurrent['txs']} txs, {concurrent['seconds']:.4f} s, "
+        f"{results['writers']} writers + {results['readers']} readers)"
+    )
+    print(
+        f"{'batching':>11}: mean {batching['mean_batch_size']:.2f} txs/commit "
+        f"(largest {batching['largest_batch']}, "
+        f"{batching['batches']} batches, {batching['fallbacks']} fallbacks)"
+    )
+    print(
+        f"{'snapshots':>11}: {concurrent['snapshot_reads']} reads, "
+        f"{concurrent['reads_during_commit']} inside a commit's flush window"
+    )
+    print(f"speedup vs single session: {results['speedup_vs_baseline']:.2f}x")
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if args.check:
+        return check(results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

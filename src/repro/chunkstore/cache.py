@@ -21,6 +21,7 @@ even for empty partitions.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterator, Optional, Set, Tuple
 
@@ -29,7 +30,15 @@ from repro.chunkstore.ids import ChunkId
 
 
 class DescriptorCache:
-    """LRU cache of chunk descriptors with dirty pinning."""
+    """LRU cache of chunk descriptors with dirty pinning.
+
+    Thread-safety contract: **externally serialized**.  Every access runs
+    under ``ChunkStore._lock`` — the cache participates in commit and
+    checkpoint transitions (dirty pinning) that must be atomic with map
+    updates, so an internal mutex would add overhead without removing the
+    need for the store-level lock.  Do not touch it from code that does
+    not hold the store lock.
+    """
 
     def __init__(self, max_clean: int = 4096) -> None:
         self._max_clean = max_clean
@@ -98,6 +107,21 @@ class DescriptorCache:
             self._clean.pop(cid, None)
             self._dirty.pop(cid, None)
 
+    def partition_entries(self, partition: int) -> Dict[ChunkId, ChunkDescriptor]:
+        """Point-in-time copy of every cached descriptor of ``partition``
+        (dirty entries shadow clean ones).  Snapshot views seed their
+        private walk cache with this: dirty descriptors are the *only*
+        record of post-checkpoint commits, since the persistent map is
+        stale until the next checkpoint.  Caller holds the store lock."""
+        out: Dict[ChunkId, ChunkDescriptor] = {}
+        for cid in self._by_partition.get(partition, ()):
+            descriptor = self._dirty.get(cid)
+            if descriptor is None:
+                descriptor = self._clean.get(cid)
+            if descriptor is not None:
+                out[cid] = descriptor
+        return out
+
     # -- dirty management ----------------------------------------------------
 
     def dirty_count(self) -> int:
@@ -147,10 +171,17 @@ class ValidatedChunkCache:
     invalidate a chunk's committed bytes (write, deallocate, abort
     eviction, partition drop/reset, quarantine, repair, crash recovery)
     must call :meth:`invalidate` / :meth:`drop_partition` / :meth:`clear`.
+
+    Thread-safety contract: **internally locked**.  Snapshot views read
+    through this cache without holding ``ChunkStore._lock``, so unlike
+    :class:`DescriptorCache` every public method takes a private mutex —
+    concurrent get/put/invalidate cannot corrupt the LRU order, the
+    per-partition index, or the byte accounting.
     """
 
     def __init__(self, max_bytes: int = 0) -> None:
         self.max_bytes = max_bytes
+        self._mutex = threading.Lock()
         self._entries: "OrderedDict[ChunkId, bytes]" = OrderedDict()
         self._by_partition: Dict[int, Set[ChunkId]] = {}
         self.current_bytes = 0
@@ -167,67 +198,76 @@ class ValidatedChunkCache:
         return self.max_bytes > 0
 
     def get(self, chunk_id: ChunkId) -> Optional[bytes]:
-        payload = self._entries.get(chunk_id)
-        if payload is None:
-            if self.enabled:
-                self.misses += 1
-            return None
-        self._entries.move_to_end(chunk_id)
-        self.hits += 1
-        if chunk_id in self._prefetched:
-            self._prefetched.discard(chunk_id)
-            self.prefetch_hits += 1
-        return payload
+        with self._mutex:
+            payload = self._entries.get(chunk_id)
+            if payload is None:
+                if self.enabled:
+                    self.misses += 1
+                return None
+            self._entries.move_to_end(chunk_id)
+            self.hits += 1
+            if chunk_id in self._prefetched:
+                self._prefetched.discard(chunk_id)
+                self.prefetch_hits += 1
+            return payload
 
     def contains(self, chunk_id: ChunkId) -> bool:
         """Membership probe that perturbs neither counters nor recency."""
-        return chunk_id in self._entries
+        with self._mutex:
+            return chunk_id in self._entries
 
     def put(
         self, chunk_id: ChunkId, payload: bytes, prefetched: bool = False
     ) -> None:
         if not self.enabled or len(payload) > self.max_bytes:
             return
-        old = self._entries.pop(chunk_id, None)
-        if old is not None:
-            self.current_bytes -= len(old)
-        self._entries[chunk_id] = payload
-        self.current_bytes += len(payload)
-        if prefetched:
-            self._prefetched.add(chunk_id)
-        else:
-            self._prefetched.discard(chunk_id)
-        self._by_partition.setdefault(chunk_id.partition, set()).add(chunk_id)
-        while self.current_bytes > self.max_bytes:
-            evicted, blob = self._entries.popitem(last=False)
-            self.current_bytes -= len(blob)
-            self.evictions += 1
-            self._forget(evicted)
+        with self._mutex:
+            old = self._entries.pop(chunk_id, None)
+            if old is not None:
+                self.current_bytes -= len(old)
+            self._entries[chunk_id] = payload
+            self.current_bytes += len(payload)
+            if prefetched:
+                self._prefetched.add(chunk_id)
+            else:
+                self._prefetched.discard(chunk_id)
+            self._by_partition.setdefault(chunk_id.partition, set()).add(
+                chunk_id
+            )
+            while self.current_bytes > self.max_bytes:
+                evicted, blob = self._entries.popitem(last=False)
+                self.current_bytes -= len(blob)
+                self.evictions += 1
+                self._forget(evicted)
 
     def invalidate(self, chunk_id: ChunkId) -> None:
-        payload = self._entries.pop(chunk_id, None)
-        if payload is None:
-            return
-        self.current_bytes -= len(payload)
-        self.invalidations += 1
-        self._forget(chunk_id)
+        with self._mutex:
+            payload = self._entries.pop(chunk_id, None)
+            if payload is None:
+                return
+            self.current_bytes -= len(payload)
+            self.invalidations += 1
+            self._forget(chunk_id)
 
     def drop_partition(self, partition: int) -> None:
-        for cid in self._by_partition.pop(partition, ()):
-            payload = self._entries.pop(cid, None)
-            if payload is not None:
-                self.current_bytes -= len(payload)
-                self.invalidations += 1
-            self._prefetched.discard(cid)
+        with self._mutex:
+            for cid in self._by_partition.pop(partition, ()):
+                payload = self._entries.pop(cid, None)
+                if payload is not None:
+                    self.current_bytes -= len(payload)
+                    self.invalidations += 1
+                self._prefetched.discard(cid)
 
     def clear(self) -> None:
-        self.invalidations += len(self._entries)
-        self._entries.clear()
-        self._by_partition.clear()
-        self._prefetched.clear()
-        self.current_bytes = 0
+        with self._mutex:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+            self._by_partition.clear()
+            self._prefetched.clear()
+            self.current_bytes = 0
 
     def _forget(self, chunk_id: ChunkId) -> None:
+        # caller holds self._mutex
         self._prefetched.discard(chunk_id)
         ids = self._by_partition.get(chunk_id.partition)
         if ids is not None:
@@ -236,13 +276,14 @@ class ValidatedChunkCache:
                 del self._by_partition[chunk_id.partition]
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "prefetch_hits": self.prefetch_hits,
-            "entries": len(self._entries),
-            "bytes": self.current_bytes,
-            "max_bytes": self.max_bytes,
-        }
+        with self._mutex:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "prefetch_hits": self.prefetch_hits,
+                "entries": len(self._entries),
+                "bytes": self.current_bytes,
+                "max_bytes": self.max_bytes,
+            }

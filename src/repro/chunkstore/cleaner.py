@@ -54,6 +54,14 @@ class Cleaner:
         ``None`` if no segment is worth cleaning."""
         store = self.store
         with store._lock:
+            if store._snapshot_pins > 0:
+                # Open snapshot views hold frozen roots into the current
+                # extents; relocating or reusing those extents would tear
+                # the snapshots (the MVCC vacuum tradeoff).  Decline and
+                # let the caller retry after the views close.
+                obs.add("chunkstore.clean_deferred_by_snapshots")
+                obs.emit("clean_deferred", pins=store._snapshot_pins)
+                return None
             candidates = store.segman.cleanable_segments()
             target = None
             for segment in candidates:

@@ -187,6 +187,10 @@ class ChunkStore:
         self._quarantine: Dict[str, str] = {}
         #: chunks ever quarantined over this instance's lifetime
         self.quarantined_total = 0
+        #: open snapshot views; while > 0 the cleaner declines to run so
+        #: the extents frozen roots point at are never relocated or reused
+        self._snapshot_pins = 0
+        self.snapshot_views_opened = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -703,6 +707,48 @@ class ChunkStore:
             f"chunk {cid} should be written but its descriptor says "
             f"{descriptor.status.name}"
         )
+
+    # ------------------------------------------------------------------
+    # snapshot views (MVCC read path for the serving layer)
+    # ------------------------------------------------------------------
+
+    def open_snapshot_view(self, pid: int) -> "SnapshotView":
+        """Freeze partition ``pid``'s committed state into a lock-free
+        :class:`~repro.chunkstore.snapshot.SnapshotView`.
+
+        Reads through the view proceed without the store lock — they never
+        block behind (or be blocked by) commits, checkpoints, or flushes.
+        While any view is open the cleaner defers (``_snapshot_pins``), so
+        close views promptly.  See :mod:`repro.chunkstore.snapshot` for the
+        full soundness argument and consistency contract."""
+        from repro.chunkstore.snapshot import build_snapshot_view
+
+        with self._lock:
+            self._check_open()
+            self.logbuf.seal()  # the frozen root must be device-visible
+            view = build_snapshot_view(self, pid)
+            self._snapshot_pins += 1
+            self.snapshot_views_opened += 1
+            obs.add("chunkstore.snapshot_views_opened")
+            obs.emit("snapshot_view_opened", pid=pid, pins=self._snapshot_pins)
+            return view
+
+    def close_snapshot_view(self, view: "SnapshotView") -> None:
+        """Release a snapshot view (idempotent); unpins the cleaner once
+        the last view closes."""
+        with self._lock:
+            if view.closed:
+                return
+            view.closed = True
+            self._snapshot_pins -= 1
+            obs.emit(
+                "snapshot_view_closed", pid=view.pid, pins=self._snapshot_pins
+            )
+
+    @property
+    def snapshot_pins(self) -> int:
+        with self._lock:
+            return self._snapshot_pins
 
     def read_chunk(self, pid: int, rank: int) -> bytes:
         """Return the last written state of chunk ``(pid, rank)`` (§4.5)."""
@@ -1972,6 +2018,10 @@ class ChunkStore:
                 "faults": {
                     "quarantined": self.quarantined_total,
                     "quarantine_active": len(self._quarantine),
+                },
+                "snapshots": {
+                    "open_views": self._snapshot_pins,
+                    "views_opened": self.snapshot_views_opened,
                 },
             }
 

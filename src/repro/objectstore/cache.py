@@ -6,10 +6,19 @@ validated, and unpickled."  This cache holds *committed* objects only;
 uncommitted (dirty) objects live in their transaction's private buffer
 until commit — the no-steal policy (§2.2): modified objects must remain
 in memory until their transaction commits.
+
+Thread-safety contract: **internally locked**.  Concurrent server
+sessions share one :class:`~repro.objectstore.store.ObjectStore` and hit
+this cache from many threads at once; every public method takes a
+private mutex so LRU bookkeeping can never be corrupted by interleaved
+get/put/evict.  Note the lock protects the *cache structure* only —
+coherence (evicting on overwrite, delete, abort, partition drop) remains
+the object store's responsibility, exactly as before.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional, Tuple
 
@@ -19,34 +28,41 @@ class ObjectCache:
 
     def __init__(self, max_entries: int = 4096) -> None:
         self._max = max_entries
+        self._mutex = threading.Lock()
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def get(self, ref: Hashable) -> Tuple[bool, Optional[Any]]:
         """Returns ``(present, value)`` — values may legitimately be None."""
-        if ref in self._entries:
-            self._entries.move_to_end(ref)
-            self.hits += 1
-            return True, self._entries[ref]
-        self.misses += 1
-        return False, None
+        with self._mutex:
+            if ref in self._entries:
+                self._entries.move_to_end(ref)
+                self.hits += 1
+                return True, self._entries[ref]
+            self.misses += 1
+            return False, None
 
     def put(self, ref: Hashable, value: Any) -> None:
-        self._entries[ref] = value
-        self._entries.move_to_end(ref)
-        while len(self._entries) > self._max:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            self._entries[ref] = value
+            self._entries.move_to_end(ref)
+            while len(self._entries) > self._max:
+                self._entries.popitem(last=False)
 
     def evict(self, ref: Hashable) -> None:
-        self._entries.pop(ref, None)
+        with self._mutex:
+            self._entries.pop(ref, None)
 
     def evict_partition(self, partition: int) -> None:
-        for ref in [r for r in self._entries if r.partition == partition]:
-            del self._entries[ref]
+        with self._mutex:
+            for ref in [r for r in self._entries if r.partition == partition]:
+                del self._entries[ref]
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)

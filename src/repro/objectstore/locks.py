@@ -109,16 +109,36 @@ class LockManager:
                     self.waits += 1
                     obs.add("locks.waits")
                 # register on *this* state object and deregister on the
-                # same one: release_all may pop it from the dict while we
-                # wait, and a replacement starts fresh at waiters == 0
+                # same one.  release_all keeps waiter-registered states in
+                # the dict (see there), so the fairness gate survives even
+                # a full release of the current holders: a shared requester
+                # arriving right after cannot jump our queue position.
                 state.waiters += 1
                 try:
-                    granted = self.clock.wait_on(
+                    woke = self.clock.wait_on(
                         self._condition, self._remaining(deadline)
                     )
                 finally:
                     state.waiters -= 1
-                if not granted:
+                    if not woke:
+                        # Timing out abandons this exclusive request.  If we
+                        # were the last thing keeping an otherwise-empty
+                        # state alive (release_all keeps states with
+                        # registered waiters), drop it now.
+                        if (
+                            not state.shared
+                            and state.exclusive == 0
+                            and state.waiters == 0
+                            and self._locks.get(ref) is state
+                        ):
+                            self._locks.pop(ref, None)
+                        # Shared requesters may be blocked *solely* on
+                        # waiters > 0 (the writer-fairness gate); without a
+                        # wake-up here they would sleep until their own
+                        # deadline and raise DeadlockError on a lock that is
+                        # actually grantable.
+                        self._condition.notify_all()
+                if not woke:
                     self._timeout(tx_id, ref, "exclusive")
 
     def release_all(self, tx_id: int) -> None:
@@ -132,7 +152,18 @@ class LockManager:
                 state.shared.discard(tx_id)
                 if state.exclusive == tx_id:
                     state.exclusive = 0
-                if not state.shared and state.exclusive == 0:
+                # Pop the empty state ONLY if no exclusive waiter is
+                # registered on it.  Waiters count on *this* object; a
+                # popped state would be replaced by a fresh one whose
+                # waiters == 0, so a newly arriving shared requester
+                # would sail through the writer-fairness gate and jump
+                # the surviving waiter's queue position — re-starving
+                # the writer the gate exists to protect.
+                if (
+                    not state.shared
+                    and state.exclusive == 0
+                    and state.waiters == 0
+                ):
                     self._locks.pop(ref, None)
             self._condition.notify_all()
 

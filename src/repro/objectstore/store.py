@@ -48,6 +48,7 @@ from repro.errors import (
     ChunkNotAllocatedError,
     ChunkNotWrittenError,
     ObjectNotFoundError,
+    TDBError,
     TransactionError,
 )
 from repro.objectstore.cache import ObjectCache
@@ -92,6 +93,12 @@ class ObjectStore:
         self.locks = LockManager(lock_timeout, clock=chunk_store.platform.clock)
         self._tx_ids = itertools.count(1)
         self._commit_mutex = threading.Lock()
+        #: optional group-commit seam (set by the serving layer): an
+        #: object with ``commit(ops)`` that batches concurrent commits.
+        #: When set, transactions hand their op batch to it *without*
+        #: taking ``_commit_mutex`` — serializing commits here would
+        #: prevent the batches from ever forming.
+        self.committer = None
         #: operation counters for the Figure 10 accounting
         self.op_counts: Dict[str, int] = {
             "read": 0,
@@ -336,8 +343,16 @@ class Transaction:
                             data = pickle_value(value, store.registry)
                             ops.append(WriteChunk(ref.partition, ref.rank, data))
                 if ops:
-                    with store._commit_mutex:
-                        store.chunks.commit(ops)
+                    committer = store.committer
+                    if committer is not None:
+                        # group-commit path: the committer coalesces
+                        # concurrent batches; our exclusive locks (held
+                        # until the finally below) keep write sets in any
+                        # one batch disjoint
+                        committer.commit(ops)
+                    else:
+                        with store._commit_mutex:
+                            store.chunks.commit(ops)
                 store.op_counts["commit"] += 1
                 for ref, value in self._writes.items():
                     if value is _DELETED:
@@ -364,11 +379,20 @@ class Transaction:
             # half-trusted) bytes — drop those entries too
             store.chunks.evict_payload(ref.partition, ref.rank)
         for ref in self._created:
-            # return the volatile allocation so ranks are not leaked
+            # return the volatile allocation so ranks are not leaked; a
+            # store-level failure here (e.g. the partition was concurrently
+            # deallocated) must not mask the abort, but it is recorded —
+            # anything *outside* the store's error hierarchy propagates
             try:
                 store.chunks._state(ref.partition).cancel_pending(ref.rank)
-            except Exception:
-                pass
+            except TDBError as exc:
+                obs.add("objectstore.swallowed_errors")
+                obs.emit(
+                    "swallowed_error",
+                    where="transaction.abort.cancel_pending",
+                    error=type(exc).__name__,
+                    detail=str(exc),
+                )
         self._writes.clear()
         self.status = TxStatus.ABORTED
         store.locks.release_all(self.tx_id)

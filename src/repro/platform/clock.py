@@ -29,8 +29,11 @@ class Clock(ABC):
     def wait_on(self, condition: "threading.Condition", timeout: float) -> bool:
         """Wait on ``condition`` (held) for up to ``timeout`` seconds.
 
-        Returns ``True`` if notified, ``False`` on timeout — the same
-        contract as :meth:`threading.Condition.wait`.
+        Returns ``True`` on a (possibly spurious) wake-up, ``False`` once
+        the timeout has elapsed.  Like any condition variable, callers
+        must re-check their predicate in a loop on ``True`` — a wake-up
+        is permission to re-check, not a statement that the predicate
+        holds.
         """
 
 
@@ -46,6 +49,56 @@ class SystemClock(Clock):
 
     def wait_on(self, condition: "threading.Condition", timeout: float) -> bool:
         return condition.wait(timeout=timeout)
+
+
+class VirtualClock(Clock):
+    """Deterministic clock for *multi-threaded* tests.
+
+    :class:`FakeClock` burns a waiter's whole timeout instantly, which is
+    right for single-threaded deadlock-timeout tests but useless for
+    interleaving tests where one thread must genuinely block until another
+    notifies it (or until the test advances time past its deadline).
+
+    Here ``wait_on`` really blocks on the condition, but the *deadline* is
+    measured in virtual time that only :meth:`advance` moves.  A real
+    ``notify_all`` on the condition wakes the waiter immediately;
+    advancing virtual time past the waiter's deadline makes it report a
+    timeout.  Each real-time poll tick also returns ``True`` (a spurious
+    wake-up, which the :class:`Clock` contract allows): CPython's timed
+    ``Condition.wait`` can consume a ``notify_all`` that lands exactly as
+    a poll tick expires, and a waiter that kept sleeping after that lost
+    notification would sleep forever, since virtual time never moves on
+    its own.  Returning to the caller's predicate loop instead makes
+    every waiter re-check within one poll interval, so lost notifications
+    cannot hang a test — outcomes still depend solely on virtual time and
+    the shared-state predicates, so tests stay deterministic.
+    """
+
+    #: real seconds between deadline re-checks while blocked
+    POLL_INTERVAL = 0.005
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._mutex = threading.Lock()
+
+    def now(self) -> float:
+        with self._mutex:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            with self._mutex:
+                self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move virtual time forward (waiters re-check within one poll)."""
+        with self._mutex:
+            self._now += seconds
+
+    def wait_on(self, condition: "threading.Condition", timeout: float) -> bool:
+        deadline = self.now() + max(timeout, 0.0)
+        condition.wait(timeout=self.POLL_INTERVAL)
+        return self.now() < deadline
 
 
 class FakeClock(Clock):

@@ -29,6 +29,7 @@ latencies that reproduce the paper's Figure 12 breakdown without needing a
 from __future__ import annotations
 
 import os
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -113,7 +114,17 @@ class _UndoRecord:
 
 
 class UntrustedStore(ABC):
-    """Byte-addressed untrusted storage with flush/crash semantics."""
+    """Byte-addressed untrusted storage with flush/crash semantics.
+
+    Thread-safety: every public operation takes an internal I/O mutex.
+    Snapshot views read the device concurrently with the commit path's
+    writes and flushes, and a file-backed image's seek+read / seek+write
+    pairs would otherwise interleave and return bytes from the wrong
+    offset.  The mutex also keeps the undo journal and :class:`IOStats`
+    tallies consistent.  Individual operations are short (memory copies);
+    anything slow a subclass adds to :meth:`flush` should run *outside*
+    ``super().flush()`` so readers are not held up behind it.
+    """
 
     def __init__(
         self,
@@ -128,6 +139,8 @@ class UntrustedStore(ABC):
         self.faults = fault_injector
         #: chronological journal of writes not yet flushed
         self._undo: List[_UndoRecord] = []
+        #: serializes image access, journal updates, and stats tallies
+        self._io_mutex = threading.RLock()
 
     # -- raw image access, provided by subclasses ---------------------------
 
@@ -154,11 +167,12 @@ class UntrustedStore(ABC):
                 raise
 
     def read(self, offset: int, size: int) -> bytes:
-        self._check_range(offset, size)
-        self._fault_read(offset, size)
-        self.stats.reads += 1
-        self.stats.bytes_read += size
-        return self._image_read(offset, size)
+        with self._io_mutex:
+            self._check_range(offset, size)
+            self._fault_read(offset, size)
+            self.stats.reads += 1
+            self.stats.bytes_read += size
+            return self._image_read(offset, size)
 
     def read_many(self, extents: List[Tuple[int, int]]) -> List[bytes]:
         """Batched read (for the §10 "untrusted storage on servers"
@@ -170,34 +184,38 @@ class UntrustedStore(ABC):
         one-read-per-extent baseline."""
         if not extents:
             return []
-        for offset, size in extents:
-            self._check_range(offset, size)
-            self._fault_read(offset, size)
-        results = []
-        total = 0
-        for offset, size in extents:
-            total += size
-            results.append(self._image_read(offset, size))
-        self.stats.reads += 1
-        self.stats.batched_reads += 1
-        self.stats.batched_extents += len(extents)
-        self.stats.bytes_read += total
-        return results
+        with self._io_mutex:
+            for offset, size in extents:
+                self._check_range(offset, size)
+                self._fault_read(offset, size)
+            results = []
+            total = 0
+            for offset, size in extents:
+                total += size
+                results.append(self._image_read(offset, size))
+            self.stats.reads += 1
+            self.stats.batched_reads += 1
+            self.stats.batched_extents += len(extents)
+            self.stats.bytes_read += total
+            return results
 
     def write(self, offset: int, data: bytes) -> None:
-        self._check_range(offset, len(data))
-        if self.faults is not None:
-            try:
-                self.faults.on_write(offset, len(data))
-            except Exception:
-                self.stats.io_errors += 1
-                raise
-        self.stats.writes += 1
-        self.stats.bytes_written += len(data)
-        self._undo.append(
-            _UndoRecord(offset, self._image_read(offset, len(data)), len(data))
-        )
-        self._image_write(offset, data)
+        with self._io_mutex:
+            self._check_range(offset, len(data))
+            if self.faults is not None:
+                try:
+                    self.faults.on_write(offset, len(data))
+                except Exception:
+                    self.stats.io_errors += 1
+                    raise
+            self.stats.writes += 1
+            self.stats.bytes_written += len(data)
+            self._undo.append(
+                _UndoRecord(
+                    offset, self._image_read(offset, len(data)), len(data)
+                )
+            )
+            self._image_write(offset, data)
 
     def flush(self) -> None:
         """Make all buffered writes durable.
@@ -207,58 +225,65 @@ class UntrustedStore(ABC):
         before any pending record becomes durable: the undo journal is
         untouched, so the caller can simply flush again.
         """
-        if self.faults is not None:
-            try:
-                self.faults.on_flush()
-            except Exception:
-                self.stats.io_errors += 1
-                raise
-        self.injector.point("untrusted.flush.begin")
-        self.stats.flushes += 1
-        pending = self._undo
-        self._undo = []
-        for index, record in enumerate(pending):
-            try:
-                self.injector.point("untrusted.flush.partial")
-            except Exception:
-                # Everything from this record on is still volatile: put the
-                # un-flushed suffix back so simulate_crash reverts it.
-                # (The tally below intentionally hasn't happened yet:
-                # flushed_bytes only counts records that became durable.)
-                self._undo = pending[index:]
-                raise
-            self.stats.flushed_bytes += record.new_len
-        self.injector.point("untrusted.flush.end")
+        with self._io_mutex:
+            if self.faults is not None:
+                try:
+                    self.faults.on_flush()
+                except Exception:
+                    self.stats.io_errors += 1
+                    raise
+            self.injector.point("untrusted.flush.begin")
+            self.stats.flushes += 1
+            pending = self._undo
+            self._undo = []
+            for index, record in enumerate(pending):
+                try:
+                    self.injector.point("untrusted.flush.partial")
+                except Exception:
+                    # Everything from this record on is still volatile: put
+                    # the un-flushed suffix back so simulate_crash reverts
+                    # it.  (The tally below intentionally hasn't happened
+                    # yet: flushed_bytes only counts records that became
+                    # durable.)
+                    self._undo = pending[index:]
+                    raise
+                self.stats.flushed_bytes += record.new_len
+            self.injector.point("untrusted.flush.end")
 
     # -- crash simulation ----------------------------------------------------
 
     def simulate_crash(self) -> None:
         """Discard every write since the last flush (power failure)."""
-        for record in reversed(self._undo):
-            self._image_write(record.offset, record.old_bytes)
-        self._undo = []
+        with self._io_mutex:
+            for record in reversed(self._undo):
+                self._image_write(record.offset, record.old_bytes)
+            self._undo = []
 
     # -- attacker interface --------------------------------------------------
 
     def tamper_read(self, offset: int, size: int) -> bytes:
         """Attacker: read raw device bytes (no validation, no accounting)."""
-        return self._image_read(offset, size)
+        with self._io_mutex:
+            return self._image_read(offset, size)
 
     def tamper_write(self, offset: int, data: bytes) -> None:
         """Attacker: overwrite raw device bytes."""
-        self._check_range(offset, len(data))
-        self._image_write(offset, data)
+        with self._io_mutex:
+            self._check_range(offset, len(data))
+            self._image_write(offset, data)
 
     def tamper_image(self) -> bytes:
         """Attacker: copy the whole device (first half of a replay attack)."""
-        return self._image_read(0, self._size)
+        with self._io_mutex:
+            return self._image_read(0, self._size)
 
     def tamper_replay(self, image: bytes) -> None:
         """Attacker: restore a previously saved device image."""
-        if len(image) != self._size:
-            raise ValueError("replay image size mismatch")
-        self._image_write(0, image)
-        self._undo = []
+        with self._io_mutex:
+            if len(image) != self._size:
+                raise ValueError("replay image size mismatch")
+            self._image_write(0, image)
+            self._undo = []
 
     # ------------------------------------------------------------------------
 

@@ -1,0 +1,157 @@
+"""The threaded multi-client front end over one trusted store.
+
+One :class:`TDBServer` wraps one
+:class:`~repro.objectstore.store.ObjectStore` (and hence one
+:class:`~repro.chunkstore.store.ChunkStore`).  Clients open
+:class:`Session` handles — typically one per thread — and use them for:
+
+* **writes**: ordinary serializable transactions.  Installing the server
+  routes every transaction commit through the
+  :class:`~repro.server.group_commit.GroupCommitter`, so commits arriving
+  concurrently from different sessions share one log flush.
+* **reads**: :meth:`Session.snapshot` hands back an MVCC snapshot served
+  lock-free; heavy readers never queue behind the commit path.
+  Transactional reads (``tx.get``) remain available when a reader needs
+  strict serializability against its own writes.
+
+Mid-commit visibility rules (documented in DESIGN.md): a snapshot shows
+only states that were durably committed at acquire time; a group commit
+becomes visible to *new* snapshots the moment its batch's flush returns,
+atomically for the whole batch; snapshots already handed out never change.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Dict, Iterable, Optional
+
+from repro import obs
+from repro.objectstore.pickling import ObjectRef
+from repro.objectstore.store import ObjectStore, Transaction
+from repro.server.group_commit import GroupCommitter
+from repro.server.snapshots import Snapshot, SnapshotManager
+
+
+class TDBServer:
+    """Multiplexes many client sessions onto one object/chunk store."""
+
+    def __init__(
+        self,
+        objects: ObjectStore,
+        max_batch: int = 64,
+        snapshot_mode: str = "view",
+    ) -> None:
+        self.objects = objects
+        self.committer = GroupCommitter(
+            objects.chunks, max_batch=max_batch, on_commit=self._after_commit
+        )
+        self.snapshots = SnapshotManager(objects, mode=snapshot_mode)
+        self._session_ids = itertools.count(1)
+        self._mutex = threading.Lock()
+        self._open_sessions = 0
+        self._closed = False
+        # install the group-commit seam; Transaction.commit routes every
+        # ops batch through it from now on
+        objects.committer = self.committer
+
+    # -- sessions ------------------------------------------------------------
+
+    def session(self) -> "Session":
+        with self._mutex:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            self._open_sessions += 1
+            return Session(self, next(self._session_ids))
+
+    def _session_closed(self) -> None:
+        with self._mutex:
+            self._open_sessions = max(0, self._open_sessions - 1)
+
+    # -- commit fan-in -------------------------------------------------------
+
+    def _after_commit(self, touched: Iterable[int]) -> None:
+        """Group-commit hook: newly durable partitions need fresh
+        snapshots for subsequent readers."""
+        self.snapshots.invalidate_many(touched)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._mutex:
+            if self._closed:
+                return
+            self._closed = True
+        self.snapshots.close_all()
+        # detach the seam: later transactions commit the plain way
+        if self.objects.committer is self.committer:
+            self.objects.committer = None
+
+    def __enter__(self) -> "TDBServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._mutex:
+            open_sessions = self._open_sessions
+        return {
+            "open_sessions": open_sessions,
+            "group_commit": self.committer.stats(),
+            "snapshots": self.snapshots.stats(),
+            "objectstore": self.objects.stats(),
+            "chunkstore_snapshots": self.objects.chunks.stats()["snapshots"],
+        }
+
+
+class Session:
+    """One client's handle on the server (use from a single thread)."""
+
+    def __init__(self, server: TDBServer, session_id: int) -> None:
+        self.server = server
+        self.session_id = session_id
+        self._closed = False
+        self.commits = 0
+        self.snapshot_reads = 0
+
+    # -- writes --------------------------------------------------------------
+
+    def transaction(self) -> Transaction:
+        """A serializable read-write transaction (commits are grouped)."""
+        self._require_open()
+        return self.server.objects.transaction()
+
+    # -- reads ---------------------------------------------------------------
+
+    def snapshot(self, pid: int) -> Snapshot:
+        """A consistent lock-free view of ``pid``'s committed objects."""
+        self._require_open()
+        return self.server.snapshots.acquire(pid)
+
+    def read(self, ref: ObjectRef) -> Any:
+        """Convenience one-shot snapshot read of a single object."""
+        self._require_open()
+        with self.snapshot(ref.partition) as snapshot:
+            value = snapshot.get(ref)
+        self.snapshot_reads += 1
+        return value
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"session {self.session_id} is closed")
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.server._session_closed()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,232 @@
+"""MVCC snapshot reads for the serving layer.
+
+Readers get a :class:`Snapshot`: a consistent, read-only view of one
+partition's committed objects, served entirely through a
+:class:`~repro.chunkstore.snapshot.SnapshotView` — i.e. *without* the
+chunk-store lock, so a long group-commit flush never stalls a reader and
+a reader never delays the commit path.
+
+Two flavors, same API:
+
+* ``mode="view"`` (default) — freeze the partition's current committed
+  state directly.  Cheap (no log traffic), ideal for serving reads of
+  the latest committed data.  This reuses the copy-on-write leader
+  snapshot (``LeaderPayload.copy_for_snapshot``) that partition copies
+  are built from, without materializing a copy partition.
+* ``mode="copy"`` — materialize a real
+  :class:`~repro.chunkstore.ops.CopyPartition` and view that.  Costs a
+  commit (and possibly a checkpoint) per snapshot, but the snapshot is a
+  durable first-class partition — use when a snapshot must outlive the
+  process or be diffed/backed up.
+
+Snapshots are **refcounted and shared**: concurrent readers of the same
+partition share one snapshot (and its object cache) until a group commit
+invalidates it, after which the next reader gets a fresh one.  Stale
+snapshots stay fully readable until their last reader releases them —
+that is the isolation guarantee: a reader's view never changes mid-use.
+
+Unpickled objects are cached per snapshot (never in the store's shared
+``ObjectCache``, which tracks the latest committed state).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro import obs
+from repro.chunkstore.ops import CopyPartition, DeallocatePartition
+from repro.chunkstore.snapshot import SnapshotView
+from repro.errors import ChunkNotAllocatedError, ObjectNotFoundError
+from repro.objectstore.cache import ObjectCache
+from repro.objectstore.pickling import ObjectRef, unpickle_value
+from repro.objectstore.store import ObjectStore
+
+
+class Snapshot:
+    """A consistent read-only view of one partition's objects.
+
+    Shared by concurrent readers; thread-safe.  Release with
+    :meth:`release` (or a ``with`` block) — the underlying chunk-store
+    view pins the cleaner until the last reader lets go.
+    """
+
+    def __init__(
+        self,
+        manager: "SnapshotManager",
+        source_pid: int,
+        view: SnapshotView,
+        version: int,
+        copy_pid: Optional[int] = None,
+    ) -> None:
+        self._manager = manager
+        #: the partition this snapshot was taken of
+        self.source_pid = source_pid
+        #: the materialized copy partition (``mode="copy"`` only)
+        self.copy_pid = copy_pid
+        self.view = view
+        #: monotonically increasing per-source version (diagnostics)
+        self.version = version
+        self._cache = ObjectCache(1024)
+        self._refs = 0
+        self._stale = False
+        self._disposed = False
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, ref: ObjectRef) -> Any:
+        """Read one object as of this snapshot."""
+        if ref.partition != self.source_pid:
+            raise ObjectNotFoundError(
+                f"{ref} is not in snapshot of partition {self.source_pid}"
+            )
+        present, value = self._cache.get(ref)
+        if present:
+            return value
+        try:
+            data = self.view.read_chunk(ref.rank)
+        except ChunkNotAllocatedError as exc:
+            raise ObjectNotFoundError(
+                f"no object at {ref} as of this snapshot"
+            ) from exc
+        value = unpickle_value(data, self._manager.objects.registry)
+        self._cache.put(ref, value)
+        return value
+
+    def get_many(self, refs: List[ObjectRef]) -> List[Any]:
+        return [self.get(ref) for ref in refs]
+
+    def exists(self, ref: ObjectRef) -> bool:
+        return (
+            ref.partition == self.source_pid
+            and self.view.chunk_exists(ref.rank)
+        )
+
+    def root(self) -> Any:
+        """The partition's conventional root object (rank 0)."""
+        return self.get(ObjectRef(self.source_pid, 0))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def release(self) -> None:
+        self._manager.release(self)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+class SnapshotManager:
+    """Hands out refcounted, shared snapshots; invalidated on commit."""
+
+    def __init__(self, objects: ObjectStore, mode: str = "view") -> None:
+        if mode not in ("view", "copy"):
+            raise ValueError(f"unknown snapshot mode {mode!r}")
+        self.objects = objects
+        self.chunks = objects.chunks
+        self.mode = mode
+        self._mutex = threading.Lock()
+        #: source pid -> the snapshot new readers currently share
+        self._current: Dict[int, Snapshot] = {}
+        self._versions: Dict[int, int] = {}
+        self.created = 0
+        self.reused = 0
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(self, pid: int) -> Snapshot:
+        """Get a snapshot of ``pid``'s current committed state (shared
+        with other readers until the next invalidation)."""
+        with self._mutex:
+            snapshot = self._current.get(pid)
+            if snapshot is not None and not snapshot._stale:
+                snapshot._refs += 1
+                self.reused += 1
+                return snapshot
+        # build outside the manager mutex: snapshot creation takes the
+        # chunk-store lock and must not serialize against release()
+        fresh = self._build(pid)
+        with self._mutex:
+            current = self._current.get(pid)
+            if current is not None and not current._stale:
+                # someone else built one while we were building; share
+                # theirs and discard ours
+                current._refs += 1
+                self.reused += 1
+                self._dispose(fresh)
+                return current
+            if current is not None and current._refs == 0:
+                self._dispose(current)
+            self._current[pid] = fresh
+            fresh._refs = 1
+            self.created += 1
+            return fresh
+
+    def _build(self, pid: int) -> Snapshot:
+        version = self._versions.get(pid, 0) + 1
+        self._versions[pid] = version
+        if self.mode == "copy":
+            copy_pid = self.chunks.allocate_partition()
+            self.chunks.commit([CopyPartition(copy_pid, pid)])
+            view = self.chunks.open_snapshot_view(copy_pid)
+            obs.add("server.snapshots_created")
+            return Snapshot(self, pid, view, version, copy_pid=copy_pid)
+        view = self.chunks.open_snapshot_view(pid)
+        obs.add("server.snapshots_created")
+        return Snapshot(self, pid, view, version)
+
+    # -- invalidation and release -------------------------------------------
+
+    def invalidate(self, pid: int) -> None:
+        """A commit changed ``pid``: new readers need a fresh snapshot.
+        Existing readers keep their (now stale) snapshot untouched."""
+        with self._mutex:
+            snapshot = self._current.get(pid)
+            if snapshot is None:
+                return
+            snapshot._stale = True
+            if snapshot._refs == 0:
+                self._current.pop(pid, None)
+                self._dispose(snapshot)
+
+    def invalidate_many(self, pids) -> None:
+        for pid in pids:
+            self.invalidate(pid)
+
+    def release(self, snapshot: Snapshot) -> None:
+        with self._mutex:
+            if snapshot._disposed:
+                return
+            snapshot._refs = max(0, snapshot._refs - 1)
+            if snapshot._refs == 0 and snapshot._stale:
+                if self._current.get(snapshot.source_pid) is snapshot:
+                    self._current.pop(snapshot.source_pid, None)
+                self._dispose(snapshot)
+
+    def close_all(self) -> None:
+        """Drop every managed snapshot (server shutdown)."""
+        with self._mutex:
+            for snapshot in list(self._current.values()):
+                self._dispose(snapshot)
+            self._current.clear()
+
+    def _dispose(self, snapshot: Snapshot) -> None:
+        if snapshot._disposed:
+            return
+        snapshot._disposed = True
+        self.chunks.close_snapshot_view(snapshot.view)
+        if snapshot.copy_pid is not None:
+            self.chunks.commit([DeallocatePartition(snapshot.copy_pid)])
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._mutex:
+            return {
+                "mode": self.mode,
+                "active": len(self._current),
+                "created": self.created,
+                "reused": self.reused,
+            }

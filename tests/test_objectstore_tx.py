@@ -340,3 +340,46 @@ class TestStats:
         aborts = [e for e in obs.events.since(mark) if e.kind == "tx_abort"]
         assert len(aborts) == 1
         assert aborts[0].fields["writes"] == 1
+
+
+class TestAbortErrorHandling:
+    def test_abort_records_swallowed_store_error(self, env, monkeypatch):
+        """A typed store error while returning an aborted tx's allocations
+        must not mask the abort — but it must be recorded, not dropped."""
+        from repro import obs
+        from repro.errors import ChunkStoreError
+
+        _, chunks, objects, pid = env
+        tx = objects.transaction()
+        tx.create(pid, "doomed")
+        state = chunks._state(pid)
+
+        def boom(rank):
+            raise ChunkStoreError("cancel_pending exploded")
+
+        monkeypatch.setattr(state, "cancel_pending", boom)
+        mark = obs.events.mark()
+        tx.abort()  # must not raise
+        swallowed = [
+            e for e in obs.events.since(mark) if e.kind == "swallowed_error"
+        ]
+        assert len(swallowed) == 1
+        assert swallowed[0].fields["where"] == (
+            "transaction.abort.cancel_pending"
+        )
+        assert swallowed[0].fields["error"] == "ChunkStoreError"
+
+    def test_abort_propagates_foreign_errors(self, env, monkeypatch):
+        """Anything outside the store's error hierarchy is a genuine bug
+        and must surface, not vanish into the abort path."""
+        _, chunks, objects, pid = env
+        tx = objects.transaction()
+        tx.create(pid, "doomed")
+        state = chunks._state(pid)
+
+        def boom(rank):
+            raise RuntimeError("not a store error")
+
+        monkeypatch.setattr(state, "cancel_pending", boom)
+        with pytest.raises(RuntimeError):
+            tx.abort()

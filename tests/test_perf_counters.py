@@ -82,7 +82,7 @@ class TestStoreStats:
         stats = store.stats()
         assert set(stats) == {
             "crypto", "hashing", "cache", "payload_cache", "walk", "log",
-            "commits", "untrusted", "faults",
+            "commits", "untrusted", "faults", "snapshots",
         }
         # system cipher is ctr-sha256 in the test config, and the partition
         # uses it too, so one aggregated entry carries all the bytes
